@@ -1,0 +1,1 @@
+"""Experiment benchmarks: one module per table/figure (see DESIGN.md)."""

@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every module regenerates one table/figure from DESIGN.md's experiment
+index.  The pattern is uniform: compute once under ``benchmark.pedantic``
+(rounds=1 — these are simulations, not microbenchmarks), print the
+rows/series the paper reports, and assert the qualitative *shape* that the
+reproduction must preserve.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core import always_on, hybrid_policy, run_scenario, s3_policy, s5_policy
+from repro.workload import FleetSpec
+
+#: Standard evaluation scenario shared by the policy-comparison benches.
+EVAL_HOSTS = 16
+EVAL_VMS = 64
+EVAL_HORIZON_S = 48 * 3600.0
+EVAL_SEED = 2013
+
+
+def eval_fleet_spec(**overrides):
+    """The enterprise mix used across the headline experiments."""
+    defaults = dict(
+        n_vms=EVAL_VMS,
+        horizon_s=EVAL_HORIZON_S,
+        shared_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+def run_policy_comparison(configs=None, fleet_spec=None, **scenario_kwargs):
+    """Run the given policies on the shared scenario; returns name→result."""
+    configs = configs or [always_on(), s5_policy(), s3_policy(), hybrid_policy()]
+    kwargs = dict(
+        n_hosts=EVAL_HOSTS,
+        horizon_s=EVAL_HORIZON_S,
+        seed=EVAL_SEED,
+        fleet_spec=fleet_spec or eval_fleet_spec(),
+    )
+    kwargs.update(scenario_kwargs)
+    return {cfg.name: run_scenario(cfg, **kwargs) for cfg in configs}
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under timing (simulation-scale bench)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,64 @@
+"""A4 — ablation: wake-ahead batching (``wake_boost_hosts``).
+
+Design-choice study: when a shortfall is detected, how many extra hosts
+should be woken beyond the computed need?  Boost trades energy for a
+deeper buffer against consecutive bursts.
+"""
+
+from benchmarks.conftest import eval_fleet_spec
+from repro.analysis import render_table
+from repro.core import run_scenario, s3_policy
+
+BOOSTS = [0, 1, 2, 4]
+HORIZON = 48 * 3600.0
+
+
+def compute_a4():
+    spec = eval_fleet_spec(
+        horizon_s=HORIZON,
+        archetype_weights={"bursty": 0.7, "diurnal": 0.3},
+        shared_fraction=0.55,
+    )
+    rows = []
+    for boost in BOOSTS:
+        # Reactive prediction isolates the batching mechanism: every wake
+        # is shortfall-driven, so the boost knob is what decides how many
+        # hosts come up per event.
+        cfg = s3_policy().with_overrides(
+            name="S3 boost={}".format(boost),
+            wake_boost_hosts=boost,
+            predictor="reactive",
+        )
+        run = run_scenario(
+            cfg, n_hosts=16, horizon_s=HORIZON, seed=77, fleet_spec=spec
+        )
+        rows.append(
+            {
+                "boost": boost,
+                "energy_kwh": run.report.energy_kwh,
+                "violation_time": run.report.violation_time_fraction,
+                "wakes": run.report.wake_transitions,
+            }
+        )
+    return rows
+
+
+def test_a4_wake_batching(once):
+    rows = once(compute_a4)
+    print()
+    print(
+        render_table(
+            ["wake_boost_hosts", "energy_kwh", "violation_time", "wakes"],
+            [[r["boost"], r["energy_kwh"], r["violation_time"], r["wakes"]]
+             for r in rows],
+            title="A4: wake-batching sweep (S3-PM, correlated bursts)",
+        )
+    )
+    by_boost = {r["boost"]: r for r in rows}
+    # Boost produces strictly more wake activity and costs energy.
+    assert by_boost[4]["wakes"] > by_boost[0]["wakes"]
+    assert by_boost[4]["energy_kwh"] >= by_boost[0]["energy_kwh"]
+    # All variants keep violations small — with fast wake-up the batching
+    # knob barely matters, which is itself the interesting result.
+    for r in rows:
+        assert r["violation_time"] < 0.12

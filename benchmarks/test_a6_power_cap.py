@@ -1,0 +1,88 @@
+"""A6 — extension: cluster power capping (peak shaving).
+
+Power-managed clusters get a second benefit for free: because the manager
+already controls which hosts are powered, a branch-circuit power budget
+can be enforced by deferring wakes that would exceed it.  This bench
+sweeps the cap and shows the peak-power / performance trade.
+"""
+
+from benchmarks.conftest import EVAL_HOSTS, eval_fleet_spec
+from repro.analysis import render_table
+from repro.core import run_scenario, s3_policy
+from repro.prototype import PROTOTYPE_BLADE
+
+HORIZON = 48 * 3600.0
+#: Cap levels as fractions of cluster nameplate power (None = uncapped).
+CAP_FRACTIONS = [None, 0.8, 0.6, 0.45]
+
+
+#: The run starts from a fully-active spread cluster, so the first hours
+#: are a consolidation transient; the cap experiment measures the managed
+#: steady state after this warm-up.
+WARMUP_S = 4 * 3600.0
+
+
+def steady_state_peak_w(run) -> float:
+    series = run.sampler.series["power_w"]
+    return max(
+        value
+        for t, value in zip(series.times, series.values)
+        if t >= WARMUP_S
+    )
+
+
+def compute_a6():
+    nameplate = EVAL_HOSTS * PROTOTYPE_BLADE.peak_w
+    spec = eval_fleet_spec(horizon_s=HORIZON)
+    rows = []
+    for fraction in CAP_FRACTIONS:
+        cap = nameplate * fraction if fraction else None
+        cfg = s3_policy().with_overrides(
+            name="S3 cap={}".format(fraction or "off"), power_cap_w=cap
+        )
+        run = run_scenario(
+            cfg, n_hosts=EVAL_HOSTS, horizon_s=HORIZON, seed=41, fleet_spec=spec
+        )
+        rows.append(
+            {
+                "cap_fraction": fraction if fraction else 1.0,
+                "cap_w": cap,
+                "peak_power_w": steady_state_peak_w(run),
+                "energy_kwh": run.report.energy_kwh,
+                "violation_frac": run.report.violation_fraction,
+                "cap_deferrals": run.report.extra["cap_deferrals"],
+            }
+        )
+    return rows
+
+
+def test_a6_power_cap(once):
+    rows = once(compute_a6)
+    print()
+    print(
+        render_table(
+            ["cap_frac", "cap_w", "peak_w", "energy_kwh", "undelivered",
+             "deferred_wakes"],
+            [
+                [r["cap_fraction"], r["cap_w"] or "-", r["peak_power_w"],
+                 r["energy_kwh"], r["violation_frac"], r["cap_deferrals"]]
+                for r in rows
+            ],
+            title="A6: power-cap sweep (S3-PM, steady-state peaks)",
+        )
+    )
+    uncapped = rows[0]
+    tightest = rows[-1]
+    # Tightening the cap lowers the steady-state peak power...
+    peaks = [r["peak_power_w"] for r in rows]
+    assert peaks == sorted(peaks, reverse=True)
+    assert tightest["peak_power_w"] < uncapped["peak_power_w"]
+    # ...and the binding cap is actually respected in steady state (with
+    # a one-host margin for in-flight transitions at the check instant).
+    assert tightest["peak_power_w"] <= tightest["cap_w"] + PROTOTYPE_BLADE.peak_w
+    # The uncapped run never defers a wake (wake deferral is one of the
+    # cap's two mechanisms; the other — capacity clamping in the
+    # consolidation loop — often satisfies the budget on its own).
+    assert uncapped["cap_deferrals"] == 0
+    # The performance cost of capping stays bounded.
+    assert tightest["violation_frac"] < 0.2

@@ -1,0 +1,39 @@
+"""F1 — server power vs. utilization (the energy-proportionality motivation).
+
+Paper: the measured load line of the prototype server, showing that idle
+consumes roughly half of peak — the reason host-level parking matters.
+"""
+
+from repro.analysis import render_series, render_table
+from repro.prototype import PROTOTYPE_BLADE
+
+
+def compute_f1(points=21):
+    model = PROTOTYPE_BLADE.active_model
+    return [
+        (i / (points - 1), model.power_at(i / (points - 1))) for i in range(points)
+    ]
+
+
+def test_f1_power_curve(once):
+    curve = once(compute_f1)
+    print()
+    print(
+        render_table(
+            ["utilization", "power_w", "ideal_proportional_w"],
+            [[u, w, u * PROTOTYPE_BLADE.peak_w] for u, w in curve],
+            title="F1: server power vs utilization",
+        )
+    )
+    print(render_series(curve, name="P(u)"))
+
+    idle = curve[0][1]
+    peak = curve[-1][1]
+    # Shape: idle is a large fraction of peak — far from proportional.
+    assert 0.4 <= idle / peak <= 0.6
+    # Monotone non-decreasing load line.
+    watts = [w for _, w in curve]
+    assert all(b >= a - 1e-9 for a, b in zip(watts, watts[1:]))
+    # Concave: at 50% load, more than 50% of the dynamic range is burned.
+    mid = next(w for u, w in curve if abs(u - 0.5) < 1e-9)
+    assert (mid - idle) / (peak - idle) > 0.5

@@ -1,0 +1,50 @@
+"""F2 — break-even idle interval per power state.
+
+Paper: normalized energy of parking in each state as a function of the
+idle-gap length; the 1.0 crossing is the break-even interval.  The S3
+crossing sits at tens of seconds, S5's at many minutes — the quantitative
+heart of the low-latency-states argument.
+"""
+
+from repro.analysis import render_table
+from repro.power import PowerState
+from repro.prototype import PROTOTYPE_BLADE, breakeven_curve
+
+GAPS_S = [10, 20, 30, 60, 120, 300, 600, 1200, 3600, 2 * 3600, 4 * 3600]
+
+
+def compute_f2():
+    return breakeven_curve(PROTOTYPE_BLADE, GAPS_S)
+
+
+def test_f2_breakeven(once):
+    curves = once(compute_f2)
+    header = ["gap_s"] + sorted(curves)
+    rows = []
+    for i, gap in enumerate(GAPS_S):
+        rows.append([gap] + [curves[name][i][1] for name in sorted(curves)])
+    print()
+    print(
+        render_table(
+            header, rows, title="F2: normalized energy vs idle gap (1.0 = stay idle)"
+        )
+    )
+
+    def crossing(name):
+        for gap, ratio in curves[name]:
+            if ratio < 1.0:
+                return gap
+        return float("inf")
+
+    sleep_x, off_x = crossing("sleep"), crossing("off")
+    # Shape: S3 pays off within 30 s; S5 needs several minutes.
+    assert sleep_x <= 30
+    assert off_x >= 300
+    # Deep states win eventually: at 4 h every strategy is below 1.
+    for name in curves:
+        assert curves[name][-1][1] < 1.0
+    # OFF's huge round-trip energy keeps it above SLEEP for hours; only
+    # on very long gaps does its lower floor power finally win.
+    two_hours = GAPS_S.index(2 * 3600)
+    assert curves["off"][two_hours][1] > curves["sleep"][two_hours][1]
+    assert curves["off"][-1][1] < curves["sleep"][-1][1]

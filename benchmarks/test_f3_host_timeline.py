@@ -1,0 +1,63 @@
+"""F3 — single-host suspend/resume power timeline (prototype experiment).
+
+Paper: oscilloscope-style power trace of one server through a
+busy → idle(park) → busy window, per power state, demonstrating both the
+energy saved and the wake-latency exposure.
+"""
+
+from repro.analysis import render_series, render_table
+from repro.power import PowerState
+from repro.prototype import PROTOTYPE_BLADE, replay_idle_window
+
+STATES = [PowerState.SLEEP, PowerState.HIBERNATE, PowerState.OFF]
+
+
+def compute_f3():
+    return {
+        state.value: replay_idle_window(
+            PROTOTYPE_BLADE,
+            state,
+            busy_before_s=300.0,
+            idle_gap_s=900.0,
+            busy_after_s=300.0,
+        )
+        for state in STATES
+    }
+
+
+def test_f3_host_timeline(once):
+    results = once(compute_f3)
+    print()
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                r["energy_j"] / 1000.0,
+                r["energy_j_always_on"] / 1000.0,
+                1.0 - r["energy_j"] / r["energy_j_always_on"],
+                r["late_s"],
+            ]
+        )
+        print(render_series(r["trace"], name="power(t) parking in {}".format(name)))
+    print()
+    print(
+        render_table(
+            ["state", "energy_kJ", "always_on_kJ", "savings", "late_s"],
+            rows,
+            title="F3: single-host idle-window replay (900 s gap)",
+        )
+    )
+
+    sleep = results["sleep"]
+    off = results["off"]
+    # Shape: every state saves energy on a 15-minute gap...
+    for r in results.values():
+        assert r["energy_j"] < r["energy_j_always_on"]
+    # ...but only the low-latency state wakes strictly on time here and
+    # saves the most because its transitions are nearly free.
+    assert sleep["late_s"] == 0.0
+    assert sleep["energy_j"] < off["energy_j"]
+    # The trace shows a real dip: minimum power well below idle.
+    min_w = min(w for _, w in sleep["trace"])
+    assert min_w < 0.2 * PROTOTYPE_BLADE.idle_w

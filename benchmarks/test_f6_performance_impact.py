@@ -1,0 +1,77 @@
+"""F6 — performance impact per policy.
+
+Paper: the performance cost of power management — demand that could not
+be served (capacity violations) while hosts were parked or waking —
+compared with the zero-violation always-on baseline.
+
+Two comparisons matter:
+
+* *policy-fair*: S3-PM vs. S5-PM, each with the knobs its latency can
+  afford — S3 must win on energy while staying in the same violation
+  ballpark;
+* *latency-isolating*: S3-PM vs. S5-aggr (identical aggressive knobs,
+  only the park state differs) — here the slow state must hurt more,
+  which is the pure hardware effect.
+"""
+
+from benchmarks.conftest import eval_fleet_spec, run_policy_comparison
+from repro.analysis import render_table
+from repro.core import always_on, hybrid_policy, s3_policy, s5_policy
+from repro.core.policies import s5_aggressive_policy
+
+
+def compute_f6():
+    # The stress case: correlated bursts, where wake latency is exposed.
+    spec = eval_fleet_spec(
+        archetype_weights={"bursty": 0.6, "diurnal": 0.4}, shared_fraction=0.55
+    )
+    configs = [
+        always_on(),
+        s5_policy(),
+        s5_aggressive_policy(),
+        s3_policy(),
+        hybrid_policy(),
+    ]
+    return run_policy_comparison(configs=configs, fleet_spec=spec)
+
+
+def test_f6_performance_impact(once):
+    runs = once(compute_f6)
+    rows = []
+    for name in ("AlwaysOn", "S5-PM", "S5-aggr", "S3-PM", "Hybrid"):
+        r = runs[name].report
+        rows.append(
+            [
+                name,
+                r.energy_kwh,
+                r.violation_fraction,
+                r.violation_time_fraction,
+                r.extra.get("reactive_wakes", 0.0),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["policy", "energy_kwh", "undelivered_frac", "violation_time_frac",
+             "reactive_wakes"],
+            rows,
+            title="F6: performance impact under correlated bursts",
+        )
+    )
+
+    base = runs["AlwaysOn"].report
+    s3 = runs["S3-PM"].report
+    s5 = runs["S5-PM"].report
+    s5a = runs["S5-aggr"].report
+    # Baseline serves everything.
+    assert base.violation_fraction == 0.0
+    # S3 undelivered demand is small in absolute terms...
+    assert s3.violation_fraction < 0.02
+    # ...while saving substantially more than always-on.
+    assert s3.energy_kwh < 0.8 * base.energy_kwh
+    # Policy-fair: S3 saves at least as much energy as conservative S5
+    # without blowing past its violation level.
+    assert s3.energy_kwh <= s5.energy_kwh * 1.02
+    assert s3.violation_fraction <= 2.0 * s5.violation_fraction + 0.005
+    # Latency-isolating: same aggressive knobs, slow state hurts more.
+    assert s3.violation_fraction <= s5a.violation_fraction + 1e-9

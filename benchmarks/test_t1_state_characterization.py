@@ -1,0 +1,42 @@
+"""T1 — power-state characterization table.
+
+Paper: per-state power draw, entry/exit latency, and transition cost on
+the real prototype; our substitute regenerates the table from the
+calibrated profiles (see DESIGN.md substitutions).
+"""
+
+from repro.power import PowerState
+from repro.prototype import (
+    LEGACY_BLADE,
+    PROTOTYPE_BLADE,
+    characterization_table,
+    format_characterization_table,
+)
+
+
+def compute_t1():
+    return {
+        "prototype": characterization_table(PROTOTYPE_BLADE),
+        "legacy": characterization_table(LEGACY_BLADE),
+    }
+
+
+def test_t1_state_characterization(once):
+    tables = once(compute_t1)
+    print()
+    print(format_characterization_table(PROTOTYPE_BLADE))
+    print()
+    print(format_characterization_table(LEGACY_BLADE))
+
+    rows = {r.state: r for r in tables["prototype"]}
+    sleep, off = rows[PowerState.SLEEP], rows[PowerState.OFF]
+
+    # Shape: S3 draws a few percent of idle power...
+    assert sleep.stable_power_w < 0.1 * PROTOTYPE_BLADE.idle_w
+    # ...with a seconds-scale round trip, while S5 needs minutes.
+    assert sleep.entry_latency_s + sleep.exit_latency_s < 30.0
+    assert off.entry_latency_s + off.exit_latency_s > 120.0
+    # Break-even gap is ~an order of magnitude apart.
+    assert off.breakeven_idle_s / sleep.breakeven_idle_s > 8.0
+    # The legacy platform only has the slow option.
+    assert [r.state for r in tables["legacy"]] == [PowerState.OFF]

@@ -1,0 +1,44 @@
+"""T2 — simulated cluster and host configuration table.
+
+Paper: the testbed/simulation configuration summary.  Regenerated from
+the defaults every other bench uses, so the table always matches what
+actually ran.
+"""
+
+from benchmarks.conftest import EVAL_HORIZON_S, EVAL_HOSTS, EVAL_VMS, eval_fleet_spec
+from repro.analysis import render_table
+from repro.core import ManagerConfig
+from repro.migration import PreCopyModel
+from repro.prototype import PROTOTYPE_BLADE
+
+
+def compute_t2():
+    spec = eval_fleet_spec()
+    cfg = ManagerConfig()
+    model = PreCopyModel()
+    return [
+        ["hosts", EVAL_HOSTS],
+        ["host cores", 16],
+        ["host memory (GB)", 128],
+        ["host idle / peak (W)", "{:.0f} / {:.0f}".format(
+            PROTOTYPE_BLADE.idle_w, PROTOTYPE_BLADE.peak_w)],
+        ["VMs", EVAL_VMS],
+        ["VM vCPU choices", "1/2/4/8"],
+        ["memory per vCPU (GB)", spec.mem_gb_per_vcpu],
+        ["workload mix", "diurnal/bursty/flat/spiky"],
+        ["shared demand fraction", spec.shared_fraction],
+        ["horizon (h)", EVAL_HORIZON_S / 3600.0],
+        ["telemetry epoch (s)", 60],
+        ["manager period (s)", cfg.period_s],
+        ["watchdog period (s)", cfg.watchdog_period_s],
+        ["migration bandwidth (GB/s)", model.bandwidth_gbps],
+        ["migration CPU tax (cores)", model.cpu_tax_cores],
+    ]
+
+
+def test_t2_cluster_config(once):
+    rows = once(compute_t2)
+    print()
+    print(render_table(["parameter", "value"], rows, title="T2: configuration"))
+    assert len(rows) >= 12
+    assert all(len(r) == 2 for r in rows)

@@ -1,0 +1,67 @@
+"""T3/F7 — management-overhead parity with base DRM.
+
+Paper's central adoption argument: power management built on low-latency
+states adds overheads *comparable to* the distributed resource management
+activity that virtualized clusters already accept (load-balancing
+migrations, provisioning churn).
+"""
+
+from benchmarks.conftest import EVAL_HORIZON_S, eval_fleet_spec, run_policy_comparison
+from repro.analysis import render_table
+from repro.core import always_on, s3_policy, s5_policy
+
+
+def compute_t3():
+    spec = eval_fleet_spec()
+    return run_policy_comparison(
+        configs=[always_on(), s5_policy(), s3_policy()],
+        fleet_spec=spec,
+        churn_rate_per_h=4.0,
+        churn_lifetime_s=8 * 3600.0,
+    )
+
+
+def test_t3_overheads(once):
+    runs = once(compute_t3)
+    hours = EVAL_HORIZON_S / 3600.0
+    rows = []
+    for name in ("AlwaysOn", "S5-PM", "S3-PM"):
+        r = runs[name].report
+        rows.append(
+            [
+                name,
+                r.migrations_per_hour,
+                (r.park_transitions + r.wake_transitions) / hours,
+                r.transitions_per_host_per_day,
+                r.migration_downtime_s,
+                r.extra.get("balancer_moves", 0.0),
+                r.extra.get("churn_rejected", 0.0),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            [
+                "policy",
+                "migs/h",
+                "transitions/h",
+                "trans/host/day",
+                "downtime_s",
+                "balancer_moves",
+                "churn_rejects",
+            ],
+            rows,
+            title="T3: management overheads (DRM churn active)",
+        )
+    )
+
+    base = runs["AlwaysOn"].report
+    s3 = runs["S3-PM"].report
+    # Shape: overheads are the same order of magnitude as base DRM —
+    # a handful of migrations per hour, not hundreds.
+    assert s3.migrations_per_hour < 20.0
+    assert s3.migrations_per_hour <= 15 * max(base.migrations_per_hour, 0.5)
+    # Transition churn stays modest: a few park/wake cycles per host-day.
+    assert s3.transitions_per_host_per_day < 20.0
+    # Migration downtime (service blips) totals seconds over two days.
+    assert s3.migration_downtime_s < 60.0

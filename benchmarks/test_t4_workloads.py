@@ -1,0 +1,84 @@
+"""T4 — workload characterization table.
+
+Quantifies the demand signals every experiment runs on, so the reader can
+connect workload structure to outcome: peak-to-mean (the consolidation
+opportunity), trough fraction (parkable time), burstiness and cross-VM
+correlation (the wake-latency stressors).
+"""
+
+from benchmarks.conftest import eval_fleet_spec
+from repro.analysis import render_table
+from repro.workload import (
+    aggregate_demand_series,
+    build_fleet,
+    fleet_correlation,
+    series_stats,
+)
+
+HORIZON = 2 * 86_400.0
+
+WORKLOADS = {
+    "diurnal": dict(archetype_weights={"diurnal": 0.85, "flat": 0.15}),
+    "bursty-corr": dict(
+        archetype_weights={"bursty": 0.7, "diurnal": 0.3}, shared_fraction=0.5
+    ),
+    "mixed": dict(),
+    # shared_fraction 0 here: the uncorrelated control group.
+    "flat": dict(
+        archetype_weights={"flat": 0.9, "spiky": 0.1}, shared_fraction=0.0
+    ),
+}
+
+
+def compute_t4():
+    rows = []
+    for name, overrides in WORKLOADS.items():
+        spec = eval_fleet_spec(horizon_s=HORIZON, **overrides)
+        fleet = build_fleet(spec, seed=2013)
+        aggregate = aggregate_demand_series(fleet, horizon_s=HORIZON)
+        stats = series_stats(aggregate)
+        rho = fleet_correlation(fleet, horizon_s=HORIZON, pairs=120)
+        rows.append(
+            {
+                "workload": name,
+                "mean_cores": stats.mean,
+                "peak_cores": stats.peak,
+                "peak_to_mean": stats.peak_to_mean,
+                "trough_frac": stats.trough_fraction,
+                "burstiness": stats.burstiness,
+                "autocorr": stats.autocorrelation,
+                "vm_correlation": rho,
+            }
+        )
+    return rows
+
+
+def test_t4_workloads(once):
+    rows = once(compute_t4)
+    print()
+    print(
+        render_table(
+            ["workload", "mean", "peak", "peak/mean", "trough_frac",
+             "burstiness", "autocorr", "vm_corr"],
+            [
+                [r["workload"], r["mean_cores"], r["peak_cores"],
+                 r["peak_to_mean"], r["trough_frac"], r["burstiness"],
+                 r["autocorr"], r["vm_correlation"]]
+                for r in rows
+            ],
+            title="T4: aggregate-demand characterization (64 VMs, 48 h)",
+        )
+    )
+    by_name = {r["workload"]: r for r in rows}
+    # Diurnal load has the big consolidation opportunity...
+    assert by_name["diurnal"]["peak_to_mean"] > 1.5
+    # ...and is highly predictable.
+    assert by_name["diurnal"]["autocorr"] > 0.5
+    # Correlated bursts swing harder per step than the diurnal mix.
+    assert (
+        by_name["bursty-corr"]["burstiness"] > by_name["diurnal"]["burstiness"]
+    )
+    # The shared signal shows up as cross-VM correlation.
+    assert by_name["bursty-corr"]["vm_correlation"] > by_name["flat"]["vm_correlation"]
+    # Flat load has little to harvest.
+    assert by_name["flat"]["peak_to_mean"] < by_name["diurnal"]["peak_to_mean"]

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Mixed-generation fleet: which host should sleep first?
+
+Builds a cluster of 8 old (230 W idle) and 8 new (120 W idle) servers
+under weekly business-hours load, and compares the manager's two
+park-candidate orderings: ``load`` (emptiest first) vs ``efficiency``
+(old inefficient hosts first).
+
+Run with::
+
+    python examples/heterogeneous_fleet.py
+"""
+
+from repro.analysis import render_table
+from repro.core import PowerAwareManager, s3_policy
+from repro.core.runner import spread_placement
+from repro.datacenter import Cluster, VM
+from repro.migration import MigrationEngine
+from repro.prototype import make_prototype_blade_profile
+from repro.sim import Environment
+from repro.telemetry import ClusterSampler, build_report
+from repro.workload import NoisyTrace, PlateauTrace, WeeklyTrace
+
+HORIZON_S = 7 * 86_400.0  # one full week, weekend trough included
+
+OLD_GEN = make_prototype_blade_profile(idle_w=230.0, peak_w=400.0)
+NEW_GEN = make_prototype_blade_profile(idle_w=120.0, peak_w=300.0)
+
+
+def build_fleet(seed_base=100):
+    """Business-hours VMs with a weekend trough."""
+    vms = []
+    for i in range(56):
+        inner = PlateauTrace(
+            low=0.08,
+            high=0.75,
+            start_hour=8 + (i % 3),
+            end_hour=17 + (i % 4),
+        )
+        trace = NoisyTrace(
+            WeeklyTrace(inner, weekend_factor=0.3),
+            seed=seed_base + i,
+            sigma=0.03,
+            horizon_s=HORIZON_S,
+        )
+        vms.append(VM("vm-{:03d}".format(i), vcpus=2 + 2 * (i % 2), mem_gb=8, trace=trace))
+    return vms
+
+
+def run(preference):
+    env = Environment()
+    cluster = Cluster.heterogeneous(
+        env,
+        [
+            {"count": 8, "profile": OLD_GEN, "cores": 16.0, "mem_gb": 128.0},
+            {"count": 8, "profile": NEW_GEN, "cores": 16.0, "mem_gb": 128.0},
+        ],
+    )
+    spread_placement(build_fleet(), cluster)
+    engine = MigrationEngine(env)
+    cfg = s3_policy().with_overrides(
+        name="S3/{}".format(preference), park_preference=preference
+    )
+    manager = PowerAwareManager(env, cluster, engine, cfg)
+    sampler = ClusterSampler(env, cluster)
+    sampler.start()
+    manager.start()
+    env.run(until=HORIZON_S)
+    return build_report(cfg.name, cluster, sampler, engine, HORIZON_S)
+
+
+def main():
+    print("simulating one week on a 16-host mixed-generation cluster ...\n")
+    reports = {pref: run(pref) for pref in ("load", "efficiency")}
+    rows = [
+        [name, r.energy_kwh, r.violation_fraction, r.migrations]
+        for name, r in reports.items()
+    ]
+    print(
+        render_table(
+            ["park_preference", "energy_kwh", "undelivered", "migrations"],
+            rows,
+            title="one week, weekly business-hours load",
+        )
+    )
+    saved = reports["load"].energy_kwh - reports["efficiency"].energy_kwh
+    print(
+        "\nParking the old generation first saves an extra {:.1f} kWh/week "
+        "({:.1%}).".format(saved, saved / reports["load"].energy_kwh)
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Prototype-style power-state characterization study.
+
+Reproduces the paper's hardware-level argument on the calibrated profile:
+
+1. the characterization table (power / latency / transition cost),
+2. break-even idle intervals per state, and
+3. a single-host suspend/resume timeline for a 10-minute idle gap.
+
+Run with::
+
+    python examples/state_characterization.py
+"""
+
+from repro.analysis import render_series, render_table
+from repro.power import PowerState
+from repro.prototype import (
+    PROTOTYPE_BLADE,
+    breakeven_curve,
+    format_characterization_table,
+    replay_idle_window,
+)
+
+
+def main():
+    print(format_characterization_table(PROTOTYPE_BLADE))
+
+    print("\nBreak-even analysis (energy normalized to staying idle):")
+    gaps = [15, 30, 60, 120, 300, 600, 1800]
+    curves = breakeven_curve(PROTOTYPE_BLADE, gaps)
+    names = sorted(curves)
+    rows = [
+        [gap] + [curves[name][i][1] for name in names]
+        for i, gap in enumerate(gaps)
+    ]
+    print(render_table(["gap_s"] + names, rows))
+
+    print("\nSingle-host replay: busy 5 min -> idle 10 min -> busy 5 min")
+    for state in (PowerState.SLEEP, PowerState.OFF):
+        result = replay_idle_window(
+            PROTOTYPE_BLADE,
+            state,
+            busy_before_s=300,
+            idle_gap_s=600,
+            busy_after_s=300,
+        )
+        savings = 1 - result["energy_j"] / result["energy_j_always_on"]
+        print(
+            render_series(
+                result["trace"],
+                name="park in {:9s} savings {:5.1%}  late {:4.0f}s".format(
+                    state.value, savings, result["late_s"]
+                ),
+            )
+        )
+
+    sleep_be = PROTOTYPE_BLADE.breakeven_idle_s(PowerState.SLEEP)
+    off_be = PROTOTYPE_BLADE.breakeven_idle_s(PowerState.OFF)
+    print(
+        "\nS3 pays off after {:.0f}s of idleness; S5 needs {:.0f}s — "
+        "{:.0f}x longer.".format(sleep_be, off_be, off_be / sleep_be)
+    )
+
+
+if __name__ == "__main__":
+    main()

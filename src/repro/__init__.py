@@ -1,0 +1,44 @@
+"""Reproduction of *Agile, efficient virtualization power management with
+low-latency server power states* (Isci et al., ISCA 2013).
+
+Public API overview:
+
+* :func:`repro.run_scenario` — run one managed-datacenter simulation.
+* :mod:`repro.core` — the power-aware manager and the policy presets.
+* :mod:`repro.prototype` — the calibrated power-state characterization.
+* :mod:`repro.sim`, :mod:`repro.power`, :mod:`repro.datacenter`,
+  :mod:`repro.workload`, :mod:`repro.migration`, :mod:`repro.placement`,
+  :mod:`repro.telemetry`, :mod:`repro.analysis` — the substrates.
+"""
+
+from repro.core import (
+    ManagerConfig,
+    PowerAwareManager,
+    ScenarioResult,
+    always_on,
+    hybrid_policy,
+    policy_by_name,
+    run_scenario,
+    s3_policy,
+    s5_policy,
+)
+from repro.power import PowerState, ServerPowerProfile
+from repro.prototype import LEGACY_BLADE, PROTOTYPE_BLADE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LEGACY_BLADE",
+    "ManagerConfig",
+    "PROTOTYPE_BLADE",
+    "PowerAwareManager",
+    "PowerState",
+    "ScenarioResult",
+    "ServerPowerProfile",
+    "always_on",
+    "hybrid_policy",
+    "policy_by_name",
+    "run_scenario",
+    "s3_policy",
+    "s5_policy",
+]

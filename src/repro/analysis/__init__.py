@@ -1,0 +1,40 @@
+"""Analysis: oracle bounds, proportionality metrics, report formatting."""
+
+from repro.analysis.oracle import (
+    ideal_proportional_kwh,
+    perfect_consolidation_kwh,
+)
+from repro.analysis.proportionality import (
+    proportionality_curve,
+    proportionality_gap,
+)
+from repro.analysis.cost import (
+    CostSummary,
+    FacilityModel,
+    cost_summary,
+    savings_summary,
+)
+from repro.analysis.format import render_series, render_table
+from repro.analysis.latency import (
+    RecoveryStats,
+    ShortfallEpisode,
+    extract_episodes,
+    recovery_stats,
+)
+
+__all__ = [
+    "CostSummary",
+    "FacilityModel",
+    "RecoveryStats",
+    "ShortfallEpisode",
+    "cost_summary",
+    "extract_episodes",
+    "ideal_proportional_kwh",
+    "recovery_stats",
+    "savings_summary",
+    "perfect_consolidation_kwh",
+    "proportionality_curve",
+    "proportionality_gap",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,90 @@
+"""Facility-level cost conversion: IT energy → bill, capacity, carbon.
+
+The paper motivates power management with datacenter economics; this
+module turns a run's IT-side kWh into the numbers an operator budgets:
+electricity cost (including facility overhead via PUE), provisioned-power
+savings, and emissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.metrics import SimReport
+
+
+@dataclass(frozen=True)
+class FacilityModel:
+    """Datacenter-level conversion factors.
+
+    Attributes:
+        pue: power-usage effectiveness (total facility power ÷ IT power);
+            ~1.8 for 2013-era enterprise rooms, ~1.1 for modern hyperscale.
+        usd_per_kwh: blended electricity price.
+        kg_co2_per_kwh: grid carbon intensity.
+    """
+
+    pue: float = 1.8
+    usd_per_kwh: float = 0.10
+    kg_co2_per_kwh: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.pue < 1.0:
+            raise ValueError("pue must be >= 1.0")
+        if self.usd_per_kwh < 0 or self.kg_co2_per_kwh < 0:
+            raise ValueError("prices/intensities must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostSummary:
+    """Facility-level view of one run."""
+
+    it_kwh: float
+    facility_kwh: float
+    usd: float
+    kg_co2: float
+    mean_facility_kw: float
+
+    def annualized_usd(self, horizon_s: float) -> float:
+        """Extrapolate this run's cost to a full year."""
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self.usd * (365.0 * 86_400.0 / horizon_s)
+
+
+def cost_summary(report: SimReport, facility: FacilityModel = FacilityModel()) -> CostSummary:
+    """Convert a :class:`~repro.telemetry.SimReport` to facility costs."""
+    facility_kwh = report.energy_kwh * facility.pue
+    hours = report.horizon_s / 3600.0
+    return CostSummary(
+        it_kwh=report.energy_kwh,
+        facility_kwh=facility_kwh,
+        usd=facility_kwh * facility.usd_per_kwh,
+        kg_co2=facility_kwh * facility.kg_co2_per_kwh,
+        mean_facility_kw=facility_kwh / hours if hours > 0 else 0.0,
+    )
+
+
+def savings_summary(
+    baseline: SimReport,
+    managed: SimReport,
+    facility: FacilityModel = FacilityModel(),
+) -> dict:
+    """Side-by-side facility economics of two runs (same horizon).
+
+    Returns a dict with the absolute and annualized savings an operator
+    would quote.
+    """
+    if abs(baseline.horizon_s - managed.horizon_s) > 1e-6:
+        raise ValueError("runs must cover the same horizon")
+    base = cost_summary(baseline, facility)
+    new = cost_summary(managed, facility)
+    saved = base.usd - new.usd
+    return {
+        "baseline_usd": base.usd,
+        "managed_usd": new.usd,
+        "saved_usd": saved,
+        "saved_fraction": saved / base.usd if base.usd > 0 else 0.0,
+        "saved_usd_per_year": saved * (365.0 * 86_400.0 / baseline.horizon_s),
+        "saved_kg_co2": base.kg_co2 - new.kg_co2,
+    }

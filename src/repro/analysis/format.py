@@ -1,0 +1,63 @@
+"""Plain-text rendering of tables and series for the bench harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    if not headers:
+        raise ValueError("need at least one header")
+    formatted_rows = [
+        ["{:.4g}".format(c) if isinstance(c, float) else str(c) for c in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    name: str = "",
+    width: int = 72,
+) -> str:
+    """One-line unicode sparkline of (x, y) points, plus min/max labels."""
+    if not points:
+        raise ValueError("need at least one point")
+    ys = [y for _, y in points]
+    lo, hi = min(ys), max(ys)
+    if len(points) > width:
+        stride = len(points) / width
+        ys = [ys[int(i * stride)] for i in range(width)]
+    span = hi - lo
+    if span <= 0:
+        bar = _BLOCKS[1] * len(ys)
+    else:
+        bar = "".join(
+            _BLOCKS[1 + int((y - lo) / span * (len(_BLOCKS) - 2))] for y in ys
+        )
+    label = "{} [{:.4g} .. {:.4g}]".format(name, lo, hi) if name else ""
+    return "{} {}".format(bar, label).rstrip()

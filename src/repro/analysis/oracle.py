@@ -1,0 +1,76 @@
+"""Analytic lower bounds ("oracle" policies) computed from demand series.
+
+Neither bound is achievable by a real controller — they ignore wake
+latency, transition energy, migration cost and prediction error — but
+they anchor the F5/F10 comparisons the way the paper's "energy
+proportional" reference line does.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.power.profiles import ServerPowerProfile
+from repro.telemetry.timeseries import TimeSeries
+
+
+def ideal_proportional_kwh(
+    demand: TimeSeries,
+    profile: ServerPowerProfile,
+    host_cores: float,
+) -> float:
+    """Energy of a perfectly proportional cluster.
+
+    Power at any instant is ``peak_w × (demand / host_cores)`` — i.e. the
+    cluster behaves like one giant machine whose draw scales linearly
+    from zero with delivered work.
+    """
+    if host_cores <= 0:
+        raise ValueError("host_cores must be positive")
+    if len(demand) < 2:
+        raise ValueError("demand series too short to integrate")
+    joules = 0.0
+    points = demand.points()
+    for (t0, d0), (t1, _) in zip(points, points[1:]):
+        power = profile.peak_w * (d0 / host_cores)
+        joules += power * (t1 - t0)
+    return joules / 3.6e6
+
+
+def perfect_consolidation_kwh(
+    demand: TimeSeries,
+    profile: ServerPowerProfile,
+    host_cores: float,
+    cpu_target: float = 0.85,
+    parked_power_w: float = 0.0,
+    n_hosts: int = 0,
+) -> float:
+    """Energy of an omniscient consolidator with free, instant parking.
+
+    At every instant exactly ``ceil(demand / (host_cores × cpu_target))``
+    hosts are active, sharing load evenly; the rest draw
+    ``parked_power_w`` (pass the profile's sleep power for a realistic
+    floor, 0 for the absolute bound).  ``n_hosts`` is required when
+    ``parked_power_w`` > 0.
+    """
+    if host_cores <= 0:
+        raise ValueError("host_cores must be positive")
+    if not 0.0 < cpu_target <= 1.0:
+        raise ValueError("cpu_target must be in (0, 1]")
+    if parked_power_w > 0 and n_hosts <= 0:
+        raise ValueError("n_hosts required when parked_power_w > 0")
+    if len(demand) < 2:
+        raise ValueError("demand series too short to integrate")
+    joules = 0.0
+    points = demand.points()
+    for (t0, d0), (t1, _) in zip(points, points[1:]):
+        active = max(1, int(math.ceil(d0 / (host_cores * cpu_target)))) if d0 > 0 else 0
+        if active:
+            per_host_util = min(d0 / (active * host_cores), 1.0)
+            power = active * profile.active_model.power_at(per_host_util)
+        else:
+            power = 0.0
+        if parked_power_w > 0:
+            power += (n_hosts - active) * parked_power_w
+        joules += power * (t1 - t0)
+    return joules / 3.6e6

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Gives operators the paper's experiments without writing Python::
+
+    python -m repro.cli characterize
+    python -m repro.cli run --policy S3-PM --hosts 16 --vms 64 --hours 24
+    python -m repro.cli compare --hosts 12 --vms 48 --hours 24
+    python -m repro.cli policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import render_series, render_table
+from repro.core import run_scenario
+from repro.core.policies import POLICIES, policy_by_name
+from repro.datacenter import FaultModel
+from repro.prototype import (
+    PROTOTYPE_BLADE,
+    breakeven_curve,
+    format_characterization_table,
+    make_prototype_blade_profile,
+)
+from repro.telemetry import SimReport
+from repro.workload import FleetSpec
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--hosts", type=int, default=16, help="cluster size")
+    parser.add_argument("--vms", type=int, default=64, help="fleet size")
+    parser.add_argument("--hours", type=float, default=24.0, help="simulated hours")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--churn", type=float, default=0.0, help="VM arrivals per hour (0 = off)"
+    )
+    parser.add_argument(
+        "--shared-fraction",
+        type=float,
+        default=0.3,
+        help="fraction of demand driven by one cluster-wide signal",
+    )
+    parser.add_argument(
+        "--wake-latency",
+        type=float,
+        default=None,
+        help="override the S3 resume latency in seconds",
+    )
+    parser.add_argument(
+        "--wake-failure-rate",
+        type=float,
+        default=0.0,
+        help="probability a wake attempt fails (fault injection)",
+    )
+    parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print demand / active-host / power sparklines",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report(s) as JSON instead of a table",
+    )
+
+
+def _scenario_kwargs(args: argparse.Namespace) -> dict:
+    horizon_s = args.hours * 3600.0
+    kwargs = dict(
+        n_hosts=args.hosts,
+        horizon_s=horizon_s,
+        seed=args.seed,
+        fleet_spec=FleetSpec(
+            n_vms=args.vms,
+            horizon_s=min(horizon_s, 7 * 86_400.0),
+            shared_fraction=args.shared_fraction,
+        ),
+        churn_rate_per_h=args.churn,
+    )
+    if args.wake_latency is not None:
+        kwargs["profile"] = make_prototype_blade_profile(
+            resume_latency_s=args.wake_latency
+        )
+    if args.wake_failure_rate > 0:
+        kwargs["fault_model"] = FaultModel(wake_failure_rate=args.wake_failure_rate)
+    return kwargs
+
+
+def _print_timeline(result) -> None:
+    for name in ("demand_cores", "active_hosts", "power_w"):
+        print(render_series(result.sampler.series[name].points(), name=name))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = policy_by_name(args.policy)
+    result = run_scenario(config, **_scenario_kwargs(args))
+    if args.json:
+        print(json.dumps(result.report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(SimReport.header())
+    print(result.report.row())
+    if args.timeline:
+        _print_timeline(result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    kwargs = _scenario_kwargs(args)
+    names = args.policies.split(",") if args.policies else [
+        "AlwaysOn", "S5-PM", "S3-PM", "Hybrid",
+    ]
+    reports = []
+    for name in names:
+        result = run_scenario(policy_by_name(name.strip()), **kwargs)
+        reports.append(result.report)
+    if args.json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports], indent=2, sort_keys=True
+            )
+        )
+        return 0
+    print(SimReport.header())
+    for report in reports:
+        print(report.row())
+    base = reports[0].energy_kwh
+    print()
+    print(
+        render_table(
+            ["policy", "normalized_energy", "undelivered"],
+            [
+                [r.policy, r.energy_kwh / base, r.violation_fraction]
+                for r in reports
+            ],
+            title="normalized to {}".format(reports[0].policy),
+        )
+    )
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    print(format_characterization_table(PROTOTYPE_BLADE))
+    print()
+    gaps = [15, 30, 60, 120, 300, 600, 1800]
+    curves = breakeven_curve(PROTOTYPE_BLADE, gaps)
+    names = sorted(curves)
+    rows = [
+        [gap] + [curves[name][i][1] for name in names]
+        for i, gap in enumerate(gaps)
+    ]
+    print(
+        render_table(
+            ["gap_s"] + names,
+            rows,
+            title="normalized energy vs idle gap (1.0 = stay idle)",
+        )
+    )
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(POLICIES):
+        cfg = POLICIES[name]()
+        rows.append(
+            [
+                name,
+                "yes" if cfg.enable_power_mgmt else "no",
+                cfg.park_state.value if cfg.enable_power_mgmt else "-",
+                cfg.headroom,
+                cfg.park_delay_rounds,
+                cfg.predictor,
+                "yes" if cfg.enable_dvfs else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["policy", "parking", "park_state", "headroom", "delay", "predictor",
+             "dvfs"],
+            rows,
+            title="available policies",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Agile, efficient virtualization power management "
+            "with low-latency server power states' (ISCA 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one policy and print its report")
+    run_parser.add_argument(
+        "--policy", default="S3-PM", choices=sorted(POLICIES), help="policy preset"
+    )
+    _add_scenario_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="run several policies")
+    compare_parser.add_argument(
+        "--policies",
+        default=None,
+        help="comma-separated preset names (default: the standard four)",
+    )
+    _add_scenario_args(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    char_parser = sub.add_parser(
+        "characterize", help="print the power-state characterization tables"
+    )
+    char_parser.set_defaults(func=cmd_characterize)
+
+    policies_parser = sub.add_parser("policies", help="list policy presets")
+    policies_parser.set_defaults(func=cmd_policies)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

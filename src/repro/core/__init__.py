@@ -1,0 +1,56 @@
+"""The paper's contribution: power-aware virtualization management.
+
+A periodic controller consolidates VMs onto the fewest hosts that satisfy
+predicted demand plus headroom, parks the surplus hosts in a low-power
+state, and wakes them — reactively within one watchdog tick, or
+proactively on predicted growth.  Because the park state's exit latency is
+seconds (S3) rather than minutes (S5 boot), the controller can run with
+aggressive thresholds at negligible performance cost — the paper's thesis.
+
+Entry points:
+
+* :func:`~repro.core.runner.run_scenario` — wire up and run a full
+  simulation, returning a :class:`~repro.telemetry.SimReport`.
+* :mod:`~repro.core.policies` — the policy presets every experiment
+  compares (AlwaysOn/DRM, S5, S3, Hybrid, plus analytic oracle bounds).
+"""
+
+from repro.core.config import ManagerConfig
+from repro.core.predictor import (
+    DemandPredictor,
+    EwmaPredictor,
+    HistoryPredictor,
+    PeakWindowPredictor,
+    ReactivePredictor,
+    make_predictor,
+)
+from repro.core.manager import ManagementLog, PowerAwareManager
+from repro.core.policies import (
+    POLICIES,
+    always_on,
+    hybrid_policy,
+    policy_by_name,
+    s3_policy,
+    s5_policy,
+)
+from repro.core.runner import ScenarioResult, run_scenario
+
+__all__ = [
+    "DemandPredictor",
+    "EwmaPredictor",
+    "HistoryPredictor",
+    "ManagementLog",
+    "ManagerConfig",
+    "PeakWindowPredictor",
+    "POLICIES",
+    "PowerAwareManager",
+    "ReactivePredictor",
+    "ScenarioResult",
+    "always_on",
+    "hybrid_policy",
+    "make_predictor",
+    "policy_by_name",
+    "run_scenario",
+    "s3_policy",
+    "s5_policy",
+]

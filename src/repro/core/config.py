@@ -1,0 +1,110 @@
+"""Configuration of the power-aware manager."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.placement.balancer import BalanceConfig
+from repro.power.states import PowerState
+
+
+@dataclass
+class ManagerConfig:
+    """All tunables of :class:`~repro.core.PowerAwareManager`.
+
+    The ablation experiments (A1–A4) sweep individual fields; the policy
+    presets in :mod:`repro.core.policies` are named bundles of these.
+
+    Attributes:
+        name: label used in reports.
+        enable_power_mgmt: False gives the pure DRM baseline (balancing
+            and admission only — no parking, no waking).
+        period_s: consolidation-evaluation interval.
+        watchdog_period_s: fast reactive loop (shortfall wake, pending
+            admissions).
+        headroom: capacity margin over predicted demand (0.15 = +15 %).
+        cpu_target: utilization ceiling used when packing/evacuating.
+        park_state: which low-power state surplus hosts are put into.
+        park_delay_rounds: consecutive surplus evaluations required before
+            parking (hysteresis, A1).
+        max_parks_per_round: parking rate limit.
+        wake_boost_hosts: extra hosts woken beyond the computed need (A4).
+        min_active_hosts: never park below this floor.
+        predictor: predictor short name (A3).
+        enable_balancing: run the DRM load balancer each round.
+        balance: DRM balancer tunables.
+        deep_park_state: if set, hosts parked beyond the first
+            ``warm_pool_hosts`` go into this deeper state instead of
+            ``park_state`` (the Hybrid policy: a warm S3 pool backed by
+            S5 cold storage).
+        warm_pool_hosts: size of the fast-wake pool when
+            ``deep_park_state`` is set.
+    """
+
+    name: str = "custom"
+    enable_power_mgmt: bool = True
+    period_s: float = 300.0
+    watchdog_period_s: float = 60.0
+    headroom: float = 0.15
+    cpu_target: float = 0.85
+    park_state: PowerState = PowerState.SLEEP
+    park_delay_rounds: int = 2
+    max_parks_per_round: int = 2
+    wake_boost_hosts: int = 0
+    min_active_hosts: int = 1
+    predictor: str = "ewma"
+    enable_balancing: bool = True
+    balance: BalanceConfig = field(default_factory=BalanceConfig)
+    deep_park_state: Optional[PowerState] = None
+    warm_pool_hosts: int = 2
+    #: Attach an ondemand DVFS governor to every host (A5 ablation).
+    enable_dvfs: bool = False
+    dvfs_target: float = 0.8
+    #: Optional cluster power budget in watts: wakes that would project
+    #: total power above it are deferred (peak shaving / branch-circuit
+    #: limits).  None disables capping.
+    power_cap_w: Optional[float] = None
+    #: Park-candidate ordering: "load" (emptiest host first — fewest
+    #: migrations) or "efficiency" (within a load bucket, prefer parking
+    #: the host with the highest idle draw — biggest saving; matters on
+    #: heterogeneous, mixed-generation clusters).
+    park_preference: str = "load"
+    #: Queued admissions waiting longer than this are rejected back to the
+    #: requester (None = wait indefinitely).  Mirrors the provisioning
+    #: SLA real clouds put on placement.
+    admission_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0 or self.watchdog_period_s <= 0:
+            raise ValueError("periods must be positive")
+        if self.headroom < 0:
+            raise ValueError("headroom must be >= 0")
+        if not 0.0 < self.cpu_target <= 1.0:
+            raise ValueError("cpu_target must be in (0, 1]")
+        if not self.park_state.is_parked:
+            raise ValueError("park_state must be a parked state")
+        if self.park_delay_rounds < 0:
+            raise ValueError("park_delay_rounds must be >= 0")
+        if self.max_parks_per_round < 1:
+            raise ValueError("max_parks_per_round must be >= 1")
+        if self.wake_boost_hosts < 0:
+            raise ValueError("wake_boost_hosts must be >= 0")
+        if self.min_active_hosts < 1:
+            raise ValueError("min_active_hosts must be >= 1")
+        if self.deep_park_state is not None and not self.deep_park_state.is_parked:
+            raise ValueError("deep_park_state must be a parked state")
+        if self.warm_pool_hosts < 0:
+            raise ValueError("warm_pool_hosts must be >= 0")
+        if not 0.0 < self.dvfs_target <= 1.0:
+            raise ValueError("dvfs_target must be in (0, 1]")
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError("power_cap_w must be positive when set")
+        if self.park_preference not in ("load", "efficiency"):
+            raise ValueError("park_preference must be 'load' or 'efficiency'")
+        if self.admission_timeout_s is not None and self.admission_timeout_s <= 0:
+            raise ValueError("admission_timeout_s must be positive when set")
+
+    def with_overrides(self, **kwargs) -> "ManagerConfig":
+        """A copy with selected fields replaced (used by sweeps)."""
+        return replace(self, **kwargs)

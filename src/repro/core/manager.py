@@ -1,0 +1,601 @@
+"""The power-aware virtualization manager.
+
+Two cooperating loops drive the cluster:
+
+* the **consolidation loop** (every ``period_s``): predicts demand, sizes
+  the active-host set with headroom, evacuates-and-parks surplus hosts
+  (after a hysteresis delay), wakes hosts ahead of predicted growth, and
+  runs the DRM load balancer;
+* the **watchdog loop** (every ``watchdog_period_s``): reacts instantly to
+  capacity shortfall — first by cancelling in-flight evacuations (free
+  capacity), then by waking parked hosts — and drains the pending
+  admission queue.
+
+With ``enable_power_mgmt=False`` only admission and balancing remain,
+which is exactly the base-DRM comparison point of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ManagerConfig
+from repro.core.predictor import make_predictor
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.host import Host
+from repro.datacenter.vm import VM
+from repro.migration.engine import MigrationEngine
+from repro.placement.balancer import LoadBalancer
+from repro.placement.evacuation import plan_evacuation
+from repro.power.states import PowerState
+
+
+@dataclass
+class ManagementLog:
+    """Timestamped action ledger; the overhead experiments read this."""
+
+    events: List[Tuple[float, str, str]] = field(default_factory=list)
+    wakes_requested: int = 0
+    wake_failures: int = 0
+    reactive_wakes: int = 0
+    cap_deferrals: int = 0
+    parks_started: int = 0
+    parks_completed: int = 0
+    evacuations_started: int = 0
+    evacuations_aborted: int = 0
+    admissions: int = 0
+    admissions_queued: int = 0
+    admissions_rejected: int = 0
+    admissions_timed_out: int = 0
+    balancer_moves: int = 0
+    #: Seconds each queued admission waited for capacity.
+    admission_waits_s: List[float] = field(default_factory=list)
+
+    def record(self, t: float, kind: str, detail: str = "") -> None:
+        self.events.append((t, kind, detail))
+
+    def mean_admission_wait_s(self) -> float:
+        waits = self.admission_waits_s
+        return sum(waits) / len(waits) if waits else 0.0
+
+
+class _EvacuationTask:
+    """Book-keeping for one evacuate-then-park operation."""
+
+    def __init__(self, host: Host, plan: List[Tuple[VM, Host]]) -> None:
+        self.host = host
+        self.plan = plan
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class PowerAwareManager:
+    """End-to-end controller binding prediction, placement and power."""
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        cluster: Cluster,
+        engine: MigrationEngine,
+        config: Optional[ManagerConfig] = None,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.engine = engine
+        self.config = config or ManagerConfig()
+        self.predictor = make_predictor(self.config.predictor)
+        self.balancer = LoadBalancer(self.config.balance)
+        self.log = ManagementLog()
+        self._pending: List[Tuple[VM, float]] = []
+        self._evacs: Dict[str, _EvacuationTask] = {}
+        self._surplus_rounds = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch both control loops."""
+        if self._started:
+            raise RuntimeError("manager already started")
+        self._started = True
+        self.env.process(self._consolidation_loop())
+        self.env.process(self._watchdog_loop())
+
+    def _consolidation_loop(self):
+        while True:
+            yield self.env.timeout(self.config.period_s)
+            self.evaluate()
+
+    def _watchdog_loop(self):
+        while True:
+            yield self.env.timeout(self.config.watchdog_period_s)
+            self.react_to_shortfall()
+            self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Admission (used directly and by the churn generator)
+    # ------------------------------------------------------------------
+
+    def admit(self, vm: VM) -> bool:
+        """Place a new VM, or queue it behind a wake if capacity is parked.
+
+        Returns False only when the request cannot be satisfied even by
+        waking every parked host (or when power management is off and no
+        active host fits).
+        """
+        host = self._pick_host_for(vm)
+        if host is not None:
+            self.cluster.add_vm(vm, host)
+            self.log.admissions += 1
+            self.log.record(self.env.now, "admit", "{}->{}".format(vm.name, host.name))
+            return True
+        if not self.config.enable_power_mgmt:
+            self.log.admissions_rejected += 1
+            return False
+        if not self._capacity_in_reserve():
+            self.log.admissions_rejected += 1
+            return False
+        self._pending.append((vm, self.env.now))
+        self.log.admissions_queued += 1
+        self.log.record(self.env.now, "admit-queued", vm.name)
+        self._request_capacity(vm.vcpus)
+        return True
+
+    def retire(self, vm: VM) -> None:
+        """Remove a departing VM (placed or still pending)."""
+        for i, (pending_vm, _) in enumerate(self._pending):
+            if pending_vm is vm:
+                del self._pending[i]
+                return
+        self.cluster.remove_vm(vm)
+
+    def _pick_host_for(self, vm: VM) -> Optional[Host]:
+        """Best-fit host for a new VM under the CPU target + memory."""
+        demand = self._admission_demand(vm)
+        best = None
+        best_slack = None
+        for host in self.cluster.placeable_hosts():
+            if not host.fits(vm):
+                continue
+            budget = host.cores * self.config.cpu_target - self._planning_load(host)
+            slack = budget - demand
+            if slack < 0:
+                continue
+            if best_slack is None or slack < best_slack:
+                best, best_slack = host, slack
+        return best
+
+    def _admission_demand(self, vm: VM) -> float:
+        """Planning demand for a not-yet-observed VM."""
+        return max(vm.demand_cores(self.env.now), 0.25 * vm.vcpus)
+
+    def _planning_load(self, host: Host) -> float:
+        now = self.env.now
+        return (
+            sum(vm.demand_cores(now) for vm in host.vms.values())
+            + host.migration_tax_cores
+        )
+
+    def _capacity_in_reserve(self) -> bool:
+        return bool(self.cluster.parked_hosts()) or bool(self._evacs) or bool(
+            self.cluster.waking_hosts()
+        )
+
+    def _drain_pending(self) -> None:
+        still_waiting: List[Tuple[VM, float]] = []
+        timeout = self.config.admission_timeout_s
+        for vm, queued_at in self._pending:
+            if timeout is not None and self.env.now - queued_at > timeout:
+                self.log.admissions_timed_out += 1
+                self.log.record(self.env.now, "admit-timeout", vm.name)
+                continue
+            host = self._pick_host_for(vm)
+            if host is None:
+                still_waiting.append((vm, queued_at))
+                continue
+            self.cluster.add_vm(vm, host)
+            wait = self.env.now - queued_at
+            self.log.admissions += 1
+            self.log.admission_waits_s.append(wait)
+            self.log.record(
+                self.env.now,
+                "admit-placed",
+                "{}->{} after {:.0f}s".format(vm.name, host.name, wait),
+            )
+        self._pending = still_waiting
+        if self._pending:
+            self._request_capacity(sum(vm.vcpus for vm, _ in self._pending))
+
+    # ------------------------------------------------------------------
+    # The consolidation evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """One consolidation round (public for unit tests)."""
+        now = self.env.now
+        demand = self.cluster.demand_cores(now) + sum(
+            self._admission_demand(vm) for vm, _ in self._pending
+        )
+        self.predictor.observe(now, demand)
+        predicted = max(self.predictor.predict(), demand)
+        needed_cores = predicted * (1.0 + self.config.headroom) / self.config.cpu_target
+        cap_cores = self._cap_capacity_cores()
+        needed_cores = min(needed_cores, cap_cores)
+        committed = self.cluster.committed_capacity_cores() - sum(
+            h.cores for h in self.cluster.hosts if h.evacuating
+        )
+
+        if self.config.enable_power_mgmt:
+            min_host_cores = min(h.cores for h in self.cluster.hosts)
+            if committed > cap_cores + min_host_cores - 1e-9:
+                # Power-budget violation beats hysteresis: shed capacity
+                # now, even if demand would prefer to keep it — remaining
+                # hosts may run overloaded (booked as violations).
+                self._shrink(committed - cap_cores, evac_cpu_target=1.0)
+            elif committed < needed_cores:
+                self._surplus_rounds = 0
+                self._grow(needed_cores - committed, reactive=False)
+            else:
+                surplus = committed - needed_cores
+                if surplus >= min_host_cores:
+                    self._surplus_rounds += 1
+                    if self._surplus_rounds > self.config.park_delay_rounds:
+                        self._shrink(surplus)
+                else:
+                    self._surplus_rounds = 0
+
+        if self.config.enable_balancing:
+            self._balance()
+
+    def _balance(self) -> None:
+        now = self.env.now
+        moves = self.balancer.recommend(
+            self.cluster.active_hosts(),
+            demand_fn=lambda vm: vm.demand_cores(now),
+            now=now,
+        )
+        for move in moves:
+            if move.vm.migrating or move.vm.host is not move.src:
+                continue
+            if not move.dst.fits(move.vm):
+                continue
+            self.engine.migrate(move.vm, move.dst)
+            self.log.balancer_moves += 1
+            self.log.record(
+                now, "balance", "{}:{}->{}".format(
+                    move.vm.name, move.src.name, move.dst.name
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Growing capacity (wakes)
+    # ------------------------------------------------------------------
+
+    def react_to_shortfall(self) -> None:
+        """Watchdog action: wake immediately on capacity shortfall.
+
+        Two triggers, both checked every watchdog tick:
+
+        * **aggregate** — total demand above the committed capacity's
+          utilization target; and
+        * **host-level** — some host is overloaded (demand beyond its
+          cores) and the balancer has nowhere under its ceiling to move
+          load to; waking one host gives it a drain target.
+        """
+        if not self.config.enable_power_mgmt:
+            return
+        now = self.env.now
+        demand = self.cluster.demand_cores(now)
+        committed = self.cluster.committed_capacity_cores()
+        # Evacuating hosts still serve load until parked; but their exit is
+        # imminent, so treat them as lost capacity unless we cancel.
+        committed -= sum(h.cores for h in self.cluster.hosts if h.evacuating)
+        cap_cores = self._cap_capacity_cores()
+        if committed >= cap_cores - 1e-9:
+            # Power-budget-bound: growing (or cancelling a cap-forced
+            # evacuation) is not allowed; shortfall is the price of the cap.
+            return
+        if demand > committed * self.config.cpu_target:
+            shortfall = min(
+                demand / self.config.cpu_target - committed,
+                cap_cores - committed,
+            )
+            self.log.reactive_wakes += 1
+            self.log.record(
+                now, "reactive-wake", "{:.1f} cores short".format(shortfall)
+            )
+            self._grow(shortfall, reactive=True)
+            return
+        overload = sum(
+            max(0.0, h.demand_cores(now) - h.cores)
+            for h in self.cluster.active_hosts()
+        )
+        headroom_free = sum(
+            max(0.0, h.cores * self.config.balance.dst_ceiling - h.demand_cores(now))
+            for h in self.cluster.placeable_hosts()
+        )
+        if overload > 0.25 and overload > headroom_free:
+            self.log.reactive_wakes += 1
+            self.log.record(
+                now, "reactive-wake", "host overload {:.1f} cores".format(overload)
+            )
+            self._grow(min(overload, cap_cores - committed), reactive=True)
+            # Give the balancer an immediate chance to use new capacity
+            # once it wakes; meanwhile spread what we can.
+            self._balance()
+
+    def _grow(self, cores_short: float, reactive: bool) -> None:
+        # 1) Cancelling an in-flight evacuation is free capacity.
+        for task in self._evacs.values():
+            if cores_short <= 0:
+                return
+            if not task.cancelled:
+                task.cancel()
+                cores_short -= task.host.cores
+                self.log.record(self.env.now, "evac-cancel", task.host.name)
+        if cores_short <= 0:
+            return
+        # 2) Wake parked hosts, fastest exit first; among equals, prefer
+        # the most efficient machine (lowest idle draw) — it will be
+        # active for a while.
+        parked = sorted(
+            self.cluster.parked_hosts(),
+            key=lambda h: (
+                h.profile.transition(h.state, PowerState.ACTIVE).latency_s,
+                h.profile.idle_w,
+            ),
+        )
+        if not parked:
+            return
+        mean_cores = sum(h.cores for h in parked) / len(parked)
+        count = int(math.ceil(cores_short / mean_cores)) + self.config.wake_boost_hosts
+        for host in parked[:count]:
+            if not self._cap_allows_wake(host):
+                self.log.cap_deferrals += 1
+                self.log.record(self.env.now, "cap-defer", host.name)
+                continue
+            self.log.wakes_requested += 1
+            self.log.record(self.env.now, "wake", host.name)
+            self.env.process(self._wake(host))
+
+    def _cap_capacity_cores(self) -> float:
+        """CPU capacity the power budget allows to be active at once.
+
+        Sized so that the allowed host count at full peak draw stays under
+        the cap (never below the min-active floor).
+        """
+        cap = self.config.power_cap_w
+        if cap is None:
+            return float("inf")
+        per_host_peak = max(h.profile.peak_w for h in self.cluster.hosts)
+        max_hosts = max(int(cap // per_host_peak), self.config.min_active_hosts)
+        largest_first = sorted((h.cores for h in self.cluster.hosts), reverse=True)
+        return sum(largest_first[:max_hosts])
+
+    def _cap_allows_wake(self, host: Host) -> bool:
+        """Would waking ``host`` keep projected power under the cap?
+
+        Projection is conservative: current draw plus the *peak* draw of
+        every host already waking and of the candidate.
+        """
+        cap = self.config.power_cap_w
+        if cap is None:
+            return True
+        projected = (
+            self.cluster.power_w()
+            + sum(h.profile.peak_w for h in self.cluster.waking_hosts())
+            + host.profile.peak_w
+        )
+        return projected <= cap
+
+    def _wake(self, host: Host):
+        yield self.env.process(host.wake())
+        if not host.is_active:
+            # Injected wake failure: the watchdog will retry (or pick a
+            # different host) on its next tick; just record it.
+            self.log.wake_failures += 1
+            self.log.record(self.env.now, "wake-failed", host.name)
+        self._drain_pending()
+
+    # ------------------------------------------------------------------
+    # Shrinking capacity (evacuate + park)
+    # ------------------------------------------------------------------
+
+    def _shrink(self, surplus_cores: float, evac_cpu_target: float = None) -> None:
+        now = self.env.now
+        target = evac_cpu_target if evac_cpu_target is not None else self.config.cpu_target
+        parks = 0
+        candidates = sorted(
+            (
+                h
+                for h in self.cluster.active_hosts()
+                if not h.evacuating and h.mem_reserved_gb <= 0
+            ),
+            key=self._park_candidate_key,
+        )
+        for host in candidates:
+            if parks >= self.config.max_parks_per_round:
+                break
+            if surplus_cores < host.cores:
+                break
+            if not self._can_spare(host):
+                break
+            targets = [
+                t
+                for t in self.cluster.placeable_hosts()
+                if t is not host and not t.evacuating
+            ]
+            plan = plan_evacuation(
+                host,
+                targets,
+                demand_fn=lambda vm: vm.demand_cores(now),
+                cpu_target=target,
+            )
+            if plan is None:
+                continue
+            task = _EvacuationTask(host, plan)
+            self._evacs[host.name] = task
+            host.evacuating = True
+            self.log.evacuations_started += 1
+            self.log.record(now, "evac-start", host.name)
+            self.env.process(self._evacuate_and_park(task))
+            surplus_cores -= host.cores
+            parks += 1
+
+    def _park_candidate_key(self, host: Host):
+        """Ordering of park candidates (see ``ManagerConfig.park_preference``).
+
+        ``load``: strictly emptiest-first (cheapest evacuation).
+        ``efficiency``: load bucketed to 10 % of capacity; within a bucket
+        the host with the highest idle draw parks first, so mixed-
+        generation clusters shed their least efficient machines.
+        """
+        load = self._planning_load(host)
+        if self.config.park_preference == "efficiency":
+            bucket = round(load / host.cores, 1)
+            return (bucket, -host.profile.idle_w, load)
+        return (load,)
+
+    def _can_spare(self, host: Host) -> bool:
+        # Hosts already evacuating are on their way out; ``host`` itself is
+        # counted via the explicit -1 (it may or may not be flagged yet).
+        active_after = (
+            len(self.cluster.active_hosts())
+            - sum(1 for h in self.cluster.hosts if h.evacuating and h is not host)
+            - 1
+        )
+        return active_after >= self.config.min_active_hosts
+
+    def _choose_park_state(self) -> PowerState:
+        cfg = self.config
+        if cfg.deep_park_state is None:
+            return cfg.park_state
+        warm = sum(
+            1
+            for h in self.cluster.hosts
+            if (h.state is cfg.park_state and not h.machine.in_transition)
+            or h.machine.target_state is cfg.park_state
+        )
+        return cfg.park_state if warm < cfg.warm_pool_hosts else cfg.deep_park_state
+
+    def _evacuate_and_park(self, task: _EvacuationTask):
+        host = task.host
+        migrations = []
+        for vm, dst in task.plan:
+            if task.cancelled:
+                break
+            if vm.host is not host or vm.migrating:
+                continue
+            if not dst.is_active or not dst.fits(vm):
+                task.cancel()  # plan went stale
+                break
+            migrations.append(self.engine.migrate(vm, dst))
+        if migrations:
+            yield self.env.all_of(migrations)
+        parkable = (
+            not task.cancelled
+            and not host.vms
+            and host.mem_reserved_gb <= 0
+            and host.is_active
+            and self._can_spare(host)
+        )
+        if parkable:
+            state = self._choose_park_state()
+            self.log.parks_started += 1
+            self.log.record(self.env.now, "park", "{}->{}".format(host.name, state.value))
+            # Keep `evacuating` True until parked so no placement sneaks in.
+            yield self.env.process(host.park(state))
+            self.log.parks_completed += 1
+        else:
+            self.log.evacuations_aborted += 1
+            self.log.record(self.env.now, "evac-abort", host.name)
+        host.evacuating = False
+        self._evacs.pop(host.name, None)
+
+    # ------------------------------------------------------------------
+    # Operator maintenance mode
+    # ------------------------------------------------------------------
+
+    def request_maintenance(self, host: Host) -> "Process":  # noqa: F821
+        """Evacuate ``host`` and power it off for service.
+
+        Returns a process whose value is True once the host is safely
+        down, or False if evacuation was impossible (in which case the
+        maintenance hold is released).  Unlike consolidation evacuations,
+        a maintenance drain is never cancelled by demand growth and may
+        overload the remaining hosts (``cpu_target`` = 1.0).
+        """
+        if host not in self.cluster.hosts:
+            raise ValueError("host {} is not managed here".format(host.name))
+        if host.in_maintenance:
+            raise RuntimeError("{} is already in maintenance".format(host.name))
+        host.in_maintenance = True
+        self.log.record(self.env.now, "maintenance-start", host.name)
+        return self.env.process(self._maintenance_drain(host))
+
+    def end_maintenance(self, host: Host) -> Optional["Process"]:  # noqa: F821
+        """Release the hold; wake the host if it was powered down."""
+        if not host.in_maintenance:
+            raise RuntimeError("{} is not in maintenance".format(host.name))
+        host.in_maintenance = False
+        self.log.record(self.env.now, "maintenance-end", host.name)
+        if host.state.is_parked and not host.machine.in_transition:
+            return self.env.process(self._wake(host))
+        return None
+
+    def _maintenance_park_state(self, host: Host) -> PowerState:
+        if host.profile.can_transition(PowerState.ACTIVE, PowerState.OFF):
+            return PowerState.OFF
+        return host.profile.park_states()[-1]
+
+    def _maintenance_drain(self, host: Host):
+        if host.state.is_parked:
+            return True
+        now = self.env.now
+        plan = plan_evacuation(
+            host,
+            [t for t in self.cluster.placeable_hosts() if t is not host],
+            demand_fn=lambda vm: vm.demand_cores(now),
+            cpu_target=1.0,
+        )
+        if plan is None:
+            host.in_maintenance = False
+            self.log.record(self.env.now, "maintenance-abort", host.name)
+            return False
+        host.evacuating = True
+        migrations = []
+        for vm, dst in plan:
+            if vm.host is host and not vm.migrating and dst.is_active:
+                migrations.append(self.engine.migrate(vm, dst))
+        if migrations:
+            yield self.env.all_of(migrations)
+        if host.vms or host.mem_reserved_gb > 0:
+            host.evacuating = False
+            host.in_maintenance = False
+            self.log.record(self.env.now, "maintenance-abort", host.name)
+            return False
+        yield self.env.process(host.park(self._maintenance_park_state(host)))
+        host.evacuating = False
+        self.log.record(self.env.now, "maintenance-down", host.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # Helpers for capacity requests from admission
+    # ------------------------------------------------------------------
+
+    def _request_capacity(self, cores_needed: float) -> None:
+        """Make room for pending admissions (cancel evac / wake a host)."""
+        waking = sum(h.cores for h in self.cluster.waking_hosts())
+        if waking >= cores_needed:
+            return
+        self._grow(cores_needed - waking, reactive=True)
+
+    @property
+    def pending_admissions(self) -> int:
+        return len(self._pending)

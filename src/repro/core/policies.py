@@ -1,0 +1,114 @@
+"""Named policy presets — the comparison set of every experiment.
+
+The presets differ in more than the park state: slow wake-up *forces*
+conservatism (long hysteresis, big headroom, peak-tracking prediction),
+which is precisely why traditional S5-based power management saves less
+and still hurts performance.  The S3 preset can afford aggression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import ManagerConfig
+from repro.power.states import PowerState
+
+
+def always_on() -> ManagerConfig:
+    """Base DRM: balancing and admission only; every host stays active."""
+    return ManagerConfig(name="AlwaysOn", enable_power_mgmt=False)
+
+
+def s3_policy() -> ManagerConfig:
+    """The paper's proposal: aggressive consolidation into S3 sleep."""
+    return ManagerConfig(
+        name="S3-PM",
+        park_state=PowerState.SLEEP,
+        park_delay_rounds=1,
+        headroom=0.10,
+        predictor="ewma",
+        max_parks_per_round=2,
+    )
+
+
+def s5_policy() -> ManagerConfig:
+    """Traditional power management: full shutdown, conservative knobs.
+
+    The long boot latency forces a peak-tracking predictor, a 25 %
+    headroom, and a 4-round park delay — otherwise violations explode
+    (exactly what the F9 sensitivity sweep shows).
+    """
+    return ManagerConfig(
+        name="S5-PM",
+        park_state=PowerState.OFF,
+        park_delay_rounds=4,
+        headroom=0.25,
+        predictor="peak",
+        max_parks_per_round=1,
+    )
+
+
+def s5_aggressive_policy() -> ManagerConfig:
+    """S5 with the S3 preset's aggressive knobs — the cautionary tale."""
+    return ManagerConfig(
+        name="S5-aggr",
+        park_state=PowerState.OFF,
+        park_delay_rounds=1,
+        headroom=0.10,
+        predictor="ewma",
+        max_parks_per_round=2,
+    )
+
+
+def hybrid_policy(warm_pool_hosts: int = 2) -> ManagerConfig:
+    """Warm S3 pool backed by deep S5 parking for sustained troughs."""
+    return ManagerConfig(
+        name="Hybrid",
+        park_state=PowerState.SLEEP,
+        deep_park_state=PowerState.OFF,
+        warm_pool_hosts=warm_pool_hosts,
+        park_delay_rounds=1,
+        headroom=0.12,
+        predictor="ewma",
+    )
+
+
+def dvfs_only() -> ManagerConfig:
+    """No parking at all; every host runs an ondemand DVFS governor.
+
+    The classic pre-consolidation answer to server energy — included so
+    the A5 ablation can show why it cannot approach proportionality when
+    idle power is ~half of peak.
+    """
+    return ManagerConfig(name="DVFS-only", enable_power_mgmt=False, enable_dvfs=True)
+
+
+def s3_dvfs_policy() -> ManagerConfig:
+    """The proposal plus DVFS on the hosts that stay active."""
+    cfg = s3_policy()
+    return cfg.with_overrides(name="S3+DVFS", enable_dvfs=True)
+
+
+POLICIES: Dict[str, callable] = {
+    "AlwaysOn": always_on,
+    "S3-PM": s3_policy,
+    "S5-PM": s5_policy,
+    "S5-aggr": s5_aggressive_policy,
+    "Hybrid": hybrid_policy,
+    "DVFS-only": dvfs_only,
+    "S3+DVFS": s3_dvfs_policy,
+}
+
+
+def policy_by_name(name: str) -> ManagerConfig:
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            "unknown policy {!r}; choose from {}".format(name, sorted(POLICIES))
+        )
+
+
+def standard_comparison() -> List[ManagerConfig]:
+    """The policy set used by the headline benches (F5/F6/T3)."""
+    return [always_on(), s5_policy(), s3_policy(), hybrid_policy()]

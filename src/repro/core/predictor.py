@@ -1,0 +1,173 @@
+"""Demand predictors feeding the capacity controller.
+
+The paper's agility argument is that with seconds-scale wake latency even
+a *reactive* controller suffices; slower states need look-ahead.  All
+three predictors share one interface so the A3 ablation can swap them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+
+class DemandPredictor:
+    """Interface: feed observations, ask for the near-future demand."""
+
+    def observe(self, t: float, demand: float) -> None:
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        """Predicted demand for the next control interval (cores)."""
+        raise NotImplementedError
+
+
+class ReactivePredictor(DemandPredictor):
+    """No model: the prediction is the latest observation."""
+
+    def __init__(self) -> None:
+        self._last = 0.0
+
+    def observe(self, t: float, demand: float) -> None:
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        self._last = demand
+
+    def predict(self) -> float:
+        return self._last
+
+
+class EwmaPredictor(DemandPredictor):
+    """Exponentially-weighted moving average with trend compensation.
+
+    Prediction is ``ewma + trend_gain * max(trend, 0)`` so rising demand is
+    anticipated but falling demand is not over-extrapolated (parking too
+    eagerly on a downward blip is the costly mistake).  ``trend_gain``
+    defaults to several observation intervals of look-ahead: since the
+    smoothed level lags the raw signal, a gain of 1 would never get ahead
+    of the current observation on a steady ramp.
+    """
+
+    def __init__(self, alpha: float = 0.4, trend_gain: float = 4.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if trend_gain < 0:
+            raise ValueError("trend_gain must be >= 0")
+        self.alpha = alpha
+        self.trend_gain = trend_gain
+        self._ewma = 0.0
+        self._prev_ewma = 0.0
+        self._seen = False
+
+    def observe(self, t: float, demand: float) -> None:
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        if not self._seen:
+            self._ewma = self._prev_ewma = demand
+            self._seen = True
+            return
+        self._prev_ewma = self._ewma
+        self._ewma = self.alpha * demand + (1.0 - self.alpha) * self._ewma
+
+    def predict(self) -> float:
+        trend = self._ewma - self._prev_ewma
+        return max(0.0, self._ewma + self.trend_gain * max(trend, 0.0))
+
+
+class PeakWindowPredictor(DemandPredictor):
+    """Predicts the peak observed inside a sliding look-back window.
+
+    The conservative choice: capacity follows recent *peaks*, not means —
+    appropriate when wake latency is long (S5) and under-provisioning is
+    expensive.
+    """
+
+    def __init__(self, window_s: float = 3600.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._obs: Deque[Tuple[float, float]] = deque()
+
+    def observe(self, t: float, demand: float) -> None:
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        self._obs.append((t, demand))
+        cutoff = t - self.window_s
+        while self._obs and self._obs[0][0] < cutoff:
+            self._obs.popleft()
+
+    def predict(self) -> float:
+        if not self._obs:
+            return 0.0
+        return max(d for _, d in self._obs)
+
+
+class HistoryPredictor(DemandPredictor):
+    """Time-of-day history: blend of recent demand and same-slot-yesterday.
+
+    Enterprise demand is strongly diurnal; the best cheap forecast for
+    "the next half hour" is usually "this time yesterday, adjusted by how
+    today is running relative to yesterday".  The predictor bins the day
+    into ``slots`` buckets, keeps an EWMA per bucket across days, and
+    predicts ``max(last, history[next slot])`` — conservative in both
+    directions.
+    """
+
+    def __init__(
+        self,
+        slots: int = 48,
+        period_s: float = 86_400.0,
+        alpha: float = 0.5,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.slots = slots
+        self.period_s = period_s
+        self.alpha = alpha
+        self._history: List[Optional[float]] = [None] * slots
+        self._last = 0.0
+        self._last_t = 0.0
+
+    def _slot(self, t: float) -> int:
+        return int((t % self.period_s) / self.period_s * self.slots) % self.slots
+
+    def observe(self, t: float, demand: float) -> None:
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        slot = self._slot(t)
+        prev = self._history[slot]
+        if prev is None:
+            self._history[slot] = demand
+        else:
+            self._history[slot] = self.alpha * demand + (1 - self.alpha) * prev
+        self._last = demand
+        self._last_t = t
+
+    def predict(self) -> float:
+        next_slot = (self._slot(self._last_t) + 1) % self.slots
+        remembered = self._history[next_slot]
+        if remembered is None:
+            return self._last
+        return max(self._last, remembered)
+
+
+def make_predictor(name: str, **kwargs) -> DemandPredictor:
+    """Factory keyed by short name:
+    ``reactive`` | ``ewma`` | ``peak`` | ``history``."""
+    factories = {
+        "reactive": ReactivePredictor,
+        "ewma": EwmaPredictor,
+        "peak": PeakWindowPredictor,
+        "history": HistoryPredictor,
+    }
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(
+            "unknown predictor {!r}; choose from {}".format(name, sorted(factories))
+        )
+    return factory(**kwargs)

@@ -1,0 +1,181 @@
+"""Scenario runner: wire every subsystem together and simulate.
+
+This is the top-level API examples and benchmarks use::
+
+    from repro.core import run_scenario, s3_policy
+
+    result = run_scenario(s3_policy(), n_hosts=20, n_vms=80,
+                          horizon_s=48 * 3600, seed=7)
+    print(result.report.row())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.config import ManagerConfig
+from repro.core.manager import PowerAwareManager
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.faults import FaultModel
+from repro.datacenter.vm import Priority, VM
+from repro.migration.engine import MigrationEngine
+from repro.migration.model import PreCopyModel
+from repro.power.dvfs import DvfsModel
+from repro.power.profiles import ServerPowerProfile
+from repro.prototype.calibration import make_prototype_blade_profile
+from repro.sim import Environment
+from repro.telemetry.metrics import SimReport, build_report
+from repro.telemetry.sampler import ClusterSampler
+from repro.workload.churn import ChurnGenerator
+from repro.workload.fleet import FleetSpec, build_fleet
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a caller might want from a finished run."""
+
+    report: SimReport
+    cluster: Cluster
+    sampler: ClusterSampler
+    manager: PowerAwareManager
+    engine: MigrationEngine
+    env: Environment
+    churn: Optional[ChurnGenerator] = None
+
+
+def spread_placement(vms: List[VM], cluster: Cluster) -> None:
+    """Initial worst-fit placement: spread VMs as a balanced DRM cluster.
+
+    Largest VMs first, each onto the host with the most remaining vCPU
+    budget — the steady state a load balancer would produce.
+    """
+    budgets = {h.name: h.cores for h in cluster.hosts}
+    for vm in sorted(vms, key=lambda v: v.vcpus, reverse=True):
+        candidates = [h for h in cluster.hosts if h.fits(vm)]
+        if not candidates:
+            raise RuntimeError(
+                "fleet does not fit: {} has no host with {} GB free".format(
+                    vm.name, vm.mem_gb
+                )
+            )
+        host = max(candidates, key=lambda h: budgets[h.name])
+        cluster.add_vm(vm, host)
+        budgets[host.name] -= vm.vcpus
+
+
+def run_scenario(
+    config: ManagerConfig,
+    n_hosts: int = 20,
+    n_vms: int = 80,
+    horizon_s: float = 48 * 3600.0,
+    seed: int = 0,
+    host_cores: float = 16.0,
+    host_mem_gb: float = 128.0,
+    profile: Optional[ServerPowerProfile] = None,
+    fleet: Optional[List[VM]] = None,
+    fleet_spec: Optional[FleetSpec] = None,
+    epoch_s: float = 60.0,
+    migration_model: Optional[PreCopyModel] = None,
+    churn_rate_per_h: float = 0.0,
+    churn_lifetime_s: float = 6 * 3600.0,
+    fault_model: Optional[FaultModel] = None,
+) -> ScenarioResult:
+    """Run one managed-cluster simulation end to end.
+
+    Args:
+        config: the management policy (see :mod:`repro.core.policies`).
+        n_hosts / host_cores / host_mem_gb: homogeneous cluster shape.
+        n_vms: fleet size when ``fleet`` is not given.
+        horizon_s: simulated duration.
+        seed: drives fleet generation and churn.
+        profile: server power profile (default: the prototype blade).
+        fleet: explicit VM list (overrides ``n_vms``/``fleet_spec``).
+        fleet_spec: fleet shape (default: the enterprise mix).
+        epoch_s: telemetry/demand refresh interval.
+        migration_model: pre-copy fabric parameters.
+        churn_rate_per_h: VM arrivals per hour (0 disables churn).
+        fault_model: optional wake-failure injection (see
+            :class:`repro.datacenter.FaultModel`).
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    env = Environment()
+    profile = profile or make_prototype_blade_profile()
+    dvfs = DvfsModel() if config.enable_dvfs else None
+    cluster = Cluster.homogeneous(
+        env,
+        profile,
+        n_hosts,
+        cores=host_cores,
+        mem_gb=host_mem_gb,
+        dvfs=dvfs,
+        dvfs_target=config.dvfs_target,
+        faults=fault_model,
+        fault_seed=seed,
+    )
+    if fleet is None:
+        spec = fleet_spec or FleetSpec(n_vms=n_vms, horizon_s=min(horizon_s, 7 * 86_400.0))
+        fleet = build_fleet(spec, seed=seed)
+    spread_placement(fleet, cluster)
+
+    engine = MigrationEngine(env, model=migration_model)
+    manager = PowerAwareManager(env, cluster, engine, config)
+    sampler = ClusterSampler(env, cluster, epoch_s=epoch_s)
+    sampler.start()
+    manager.start()
+
+    churn = None
+    if churn_rate_per_h > 0:
+        churn = ChurnGenerator(
+            env,
+            seed=seed + 1,
+            admit=manager.admit,
+            retire=manager.retire,
+            arrival_rate_per_h=churn_rate_per_h,
+            mean_lifetime_s=churn_lifetime_s,
+            spec=fleet_spec or FleetSpec(n_vms=1, horizon_s=min(horizon_s, 7 * 86_400.0)),
+        )
+        churn.start()
+
+    env.run(until=horizon_s)
+
+    report = build_report(config.name, cluster, sampler, engine, horizon_s)
+    report.extra.update(
+        {
+            "reactive_wakes": float(manager.log.reactive_wakes),
+            "wakes_requested": float(manager.log.wakes_requested),
+            "parks_completed": float(manager.log.parks_completed),
+            "evacuations_aborted": float(manager.log.evacuations_aborted),
+            "balancer_moves": float(manager.log.balancer_moves),
+            "mean_admission_wait_s": manager.log.mean_admission_wait_s(),
+            "pending_admissions_end": float(manager.pending_admissions),
+            "wake_failures": float(manager.log.wake_failures),
+            "hosts_out_of_service": float(len(cluster.out_of_service_hosts())),
+            "cap_deferrals": float(manager.log.cap_deferrals),
+            "violation_gold": sampler.violation_fraction_by_class()[Priority.GOLD],
+            "violation_silver": sampler.violation_fraction_by_class()[
+                Priority.SILVER
+            ],
+            "violation_bronze": sampler.violation_fraction_by_class()[
+                Priority.BRONZE
+            ],
+        }
+    )
+    if churn is not None:
+        report.extra.update(
+            {
+                "churn_arrived": float(churn.arrived),
+                "churn_rejected": float(churn.rejected),
+                "churn_departed": float(churn.departed),
+            }
+        )
+    return ScenarioResult(
+        report=report,
+        cluster=cluster,
+        sampler=sampler,
+        manager=manager,
+        engine=engine,
+        env=env,
+        churn=churn,
+    )

@@ -1,0 +1,24 @@
+"""Virtualized-datacenter model: VMs, hosts, and the cluster.
+
+CPU is measured in *cores* (floats; a VM demands a time-varying fraction of
+its configured vCPUs), memory in GB.  Hosts bind a power profile to a
+:class:`~repro.power.HostPowerStateMachine`; the cluster provides aggregate
+capacity/demand/power accounting that the management layer and the
+telemetry sampler read.
+"""
+
+from repro.datacenter.vm import Priority, VM
+from repro.datacenter.host import Host, HostNotActive, InsufficientCapacity
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.faults import FaultInjector, FaultModel
+
+__all__ = [
+    "Cluster",
+    "FaultInjector",
+    "FaultModel",
+    "Host",
+    "HostNotActive",
+    "InsufficientCapacity",
+    "Priority",
+    "VM",
+]

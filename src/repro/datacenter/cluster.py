@@ -1,0 +1,192 @@
+"""Cluster: host inventory and aggregate accounting."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.datacenter.host import Host
+from repro.datacenter.vm import VM
+from repro.power.profiles import ServerPowerProfile
+from repro.power.states import PowerState
+
+
+class Cluster:
+    """A managed pool of hosts and the VMs running on them."""
+
+    def __init__(self, env: "Environment", hosts: Iterable[Host]) -> None:  # noqa: F821
+        self.env = env
+        self.hosts: List[Host] = list(hosts)
+        names = [h.name for h in self.hosts]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate host names")
+        if not self.hosts:
+            raise ValueError("cluster needs at least one host")
+        self._vms: Dict[str, VM] = {}
+
+    @classmethod
+    def homogeneous(
+        cls,
+        env: "Environment",  # noqa: F821
+        profile: ServerPowerProfile,
+        n_hosts: int,
+        cores: float = 16.0,
+        mem_gb: float = 128.0,
+        initial_state: PowerState = PowerState.ACTIVE,
+        dvfs=None,
+        dvfs_target: float = 0.8,
+        faults=None,
+        fault_seed: int = 0,
+    ) -> "Cluster":
+        """Build ``n_hosts`` identical hosts named ``host-000`` …"""
+        if n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        hosts = [
+            Host(
+                env,
+                "host-{:03d}".format(i),
+                profile,
+                cores=cores,
+                mem_gb=mem_gb,
+                initial_state=initial_state,
+                dvfs=dvfs,
+                dvfs_target=dvfs_target,
+                faults=faults,
+                fault_seed=fault_seed,
+            )
+            for i in range(n_hosts)
+        ]
+        return cls(env, hosts)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        env: "Environment",  # noqa: F821
+        generations: "List[dict]",
+        fault_seed: int = 0,
+    ) -> "Cluster":
+        """Build a mixed-generation cluster.
+
+        ``generations`` is a list of dicts, each with keys ``count`` and
+        ``profile`` plus any :class:`~repro.datacenter.Host` keyword
+        arguments (``cores``, ``mem_gb``, ``dvfs``, ``faults`` …).  Hosts
+        are named ``gen<i>-<j>``.
+        """
+        hosts: List[Host] = []
+        for gen_index, spec in enumerate(generations):
+            spec = dict(spec)
+            count = spec.pop("count")
+            profile = spec.pop("profile")
+            if count < 1:
+                raise ValueError("generation count must be >= 1")
+            for j in range(count):
+                hosts.append(
+                    Host(
+                        env,
+                        "gen{}-{:03d}".format(gen_index, j),
+                        profile,
+                        fault_seed=fault_seed,
+                        **spec,
+                    )
+                )
+        return cls(env, hosts)
+
+    # ------------------------------------------------------------------
+    # VM registry
+    # ------------------------------------------------------------------
+
+    @property
+    def vms(self) -> List[VM]:
+        return list(self._vms.values())
+
+    def add_vm(self, vm: VM, host: Host) -> None:
+        """Admit ``vm`` into the cluster on ``host``."""
+        if vm.name in self._vms:
+            raise ValueError("duplicate VM name {}".format(vm.name))
+        if host not in self.hosts:
+            raise ValueError("host {} is not in this cluster".format(host.name))
+        host.place(vm)
+        self._vms[vm.name] = vm
+
+    def remove_vm(self, vm: VM) -> None:
+        """Retire ``vm`` (departure); it is unbound from its host."""
+        if self._vms.pop(vm.name, None) is None:
+            raise KeyError("VM {} not in cluster".format(vm.name))
+        if vm.host is not None:
+            vm.host.remove(vm)
+
+    def get_vm(self, name: str) -> VM:
+        return self._vms[name]
+
+    # ------------------------------------------------------------------
+    # Host views
+    # ------------------------------------------------------------------
+
+    def active_hosts(self) -> List[Host]:
+        return [h for h in self.hosts if h.is_active]
+
+    def placeable_hosts(self) -> List[Host]:
+        return [h for h in self.hosts if h.available_for_placement]
+
+    def parked_hosts(self) -> List[Host]:
+        """Parked hosts the manager may wake.
+
+        Excludes failed hardware and hosts held for maintenance.
+        """
+        return [
+            h
+            for h in self.hosts
+            if not h.machine.in_transition
+            and h.state.is_parked
+            and not h.out_of_service
+            and not h.in_maintenance
+        ]
+
+    def out_of_service_hosts(self) -> List[Host]:
+        return [h for h in self.hosts if h.out_of_service]
+
+    def transitioning_hosts(self) -> List[Host]:
+        return [h for h in self.hosts if h.machine.in_transition]
+
+    def waking_hosts(self) -> List[Host]:
+        return [
+            h
+            for h in self.hosts
+            if h.machine.in_transition
+            and h.machine.target_state is PowerState.ACTIVE
+        ]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    def active_capacity_cores(self) -> float:
+        return sum(h.cores for h in self.active_hosts())
+
+    def committed_capacity_cores(self) -> float:
+        """Active capacity plus capacity already on its way up (waking)."""
+        return self.active_capacity_cores() + sum(
+            h.cores for h in self.waking_hosts()
+        )
+
+    def total_capacity_cores(self) -> float:
+        return sum(h.cores for h in self.hosts)
+
+    def demand_cores(self, t: Optional[float] = None) -> float:
+        when = self.env.now if t is None else t
+        return sum(vm.demand_cores(when) for vm in self._vms.values())
+
+    def power_w(self) -> float:
+        return sum(h.power_w() for h in self.hosts)
+
+    def energy_j(self) -> float:
+        return sum(h.energy_j() for h in self.hosts)
+
+    def refresh_utilization(self, t: Optional[float] = None) -> float:
+        """Push fresh demand into every host; return total shortfall cores."""
+        when = self.env.now if t is None else t
+        return sum(h.refresh_utilization(when) for h in self.hosts)
+
+    def __repr__(self) -> str:
+        return "<Cluster {} hosts ({} active), {} VMs>".format(
+            len(self.hosts), len(self.active_hosts()), len(self._vms)
+        )

@@ -1,0 +1,56 @@
+"""Fault injection for power-state transitions.
+
+A practical objection to aggressive parking is reliability: servers do
+occasionally fail to resume from sleep.  This model injects wake failures
+so the experiments can show the management layer rides through them (the
+watchdog simply retries or wakes a different host).
+
+Two failure modes:
+
+* *transient* — the resume attempt burns its full latency and energy but
+  the host falls back to the parked state; a later attempt may succeed;
+* *permanent* — additionally, with probability ``permanent_fraction`` per
+  failure, the host is marked out of service and excluded from management
+  until an operator intervenes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Failure probabilities for wake (resume/boot) attempts."""
+
+    wake_failure_rate: float = 0.0
+    permanent_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.wake_failure_rate < 1.0:
+            raise ValueError("wake_failure_rate must be in [0, 1)")
+        if not 0.0 <= self.permanent_fraction <= 1.0:
+            raise ValueError("permanent_fraction must be in [0, 1]")
+
+
+class FaultInjector:
+    """Seeded per-host draw source; deterministic per (seed, host name)."""
+
+    def __init__(self, model: FaultModel, seed: int, host_name: str) -> None:
+        self.model = model
+        # Stable across processes (unlike built-in hash, which is salted).
+        digest = zlib.crc32("{}:{}".format(seed, host_name).encode())
+        self._rng = np.random.default_rng(digest)
+
+    def draw_wake_failure(self) -> bool:
+        if self.model.wake_failure_rate <= 0:
+            return False
+        return bool(self._rng.random() < self.model.wake_failure_rate)
+
+    def draw_permanent(self) -> bool:
+        if self.model.permanent_fraction <= 0:
+            return False
+        return bool(self._rng.random() < self.model.permanent_fraction)

@@ -1,0 +1,320 @@
+"""Physical host model: capacity, placement accounting, power binding."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datacenter.faults import FaultInjector, FaultModel
+from repro.datacenter.vm import VM
+from repro.power.dvfs import DvfsModel
+from repro.power.machine import HostPowerStateMachine
+from repro.power.profiles import ServerPowerProfile
+from repro.power.states import PowerState
+
+
+def _latency_rng(seed: int, name: str):
+    """Per-host seeded RNG for transition-latency jitter."""
+    import zlib
+
+    import numpy as np
+
+    digest = zlib.crc32("latency:{}:{}".format(seed, name).encode())
+    return np.random.default_rng(digest)
+
+
+class InsufficientCapacity(RuntimeError):
+    """Raised when a VM does not fit on a host."""
+
+
+class HostNotActive(RuntimeError):
+    """Raised when placing onto / parking a host in the wrong power state."""
+
+
+class Host:
+    """A server: CPU/memory capacity plus a power-state machine.
+
+    Memory is a hard constraint (no overcommit by default); CPU is
+    work-conserving — demand above capacity is *delivered pro rata* and the
+    shortfall is what the telemetry layer books as a performance violation.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        name: str,
+        profile: ServerPowerProfile,
+        cores: float = 16.0,
+        mem_gb: float = 128.0,
+        initial_state: PowerState = PowerState.ACTIVE,
+        mem_overcommit: float = 1.0,
+        record_power_trace: bool = False,
+        dvfs: Optional[DvfsModel] = None,
+        dvfs_target: float = 0.8,
+        faults: Optional[FaultModel] = None,
+        fault_seed: int = 0,
+    ) -> None:
+        if cores <= 0 or mem_gb <= 0:
+            raise ValueError("cores and mem_gb must be positive")
+        if mem_overcommit < 1.0:
+            raise ValueError("mem_overcommit must be >= 1.0")
+        self.env = env
+        self.name = name
+        self.cores = float(cores)
+        self.mem_gb = float(mem_gb)
+        self.mem_overcommit = mem_overcommit
+        self.machine = HostPowerStateMachine(
+            env,
+            profile,
+            initial_state=initial_state,
+            record_trace=record_power_trace,
+            latency_rng=_latency_rng(fault_seed, name),
+        )
+        if not 0.0 < dvfs_target <= 1.0:
+            raise ValueError("dvfs_target must be in (0, 1]")
+        self.vms: Dict[str, VM] = {}
+        #: Extra cores consumed by in-flight migrations (source+dest tax).
+        self.migration_tax_cores = 0.0
+        #: Memory held for inbound migrations, counted against mem_free_gb.
+        self.mem_reserved_gb = 0.0
+        #: Anti-affinity groups of inbound (in-flight) migrations.
+        self.groups_reserved = set()
+        #: Optional per-host DVFS governor (ondemand-style).
+        self.dvfs = dvfs
+        self.dvfs_target = dvfs_target
+        #: Current relative frequency (1.0 = nominal).
+        self.frequency = 1.0
+        #: Optional wake-failure injection.
+        self._injector = (
+            FaultInjector(faults, fault_seed, name) if faults else None
+        )
+        #: Count of wake attempts that failed (transient or permanent).
+        self.wake_failures = 0
+        #: Set when a permanent failure takes the host out of management.
+        self.out_of_service = False
+        #: Set while an operator holds the host for service; the manager
+        #: will not place onto it or wake it until maintenance ends.
+        self.in_maintenance = False
+        #: Set by the manager while the host is earmarked for parking, so
+        #: the placement layer stops assigning new VMs to it.
+        self.evacuating = False
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def profile(self) -> ServerPowerProfile:
+        return self.machine.profile
+
+    @property
+    def state(self) -> PowerState:
+        return self.machine.state
+
+    @property
+    def is_active(self) -> bool:
+        return self.machine.is_active
+
+    @property
+    def available_for_placement(self) -> bool:
+        return self.is_active and not self.evacuating and not self.in_maintenance
+
+    @property
+    def mem_used_gb(self) -> float:
+        return sum(vm.mem_gb for vm in self.vms.values())
+
+    @property
+    def mem_free_gb(self) -> float:
+        return (
+            self.mem_gb * self.mem_overcommit
+            - self.mem_used_gb
+            - self.mem_reserved_gb
+        )
+
+    @property
+    def vcpus_committed(self) -> float:
+        return sum(vm.vcpus for vm in self.vms.values())
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    def fits(self, vm: VM) -> bool:
+        """True if ``vm``'s memory fits and anti-affinity is respected."""
+        if vm.mem_gb > self.mem_free_gb + 1e-9:
+            return False
+        group = vm.anti_affinity_group
+        if group is not None and (
+            self.hosts_group(group) or group in self.groups_reserved
+        ):
+            return False
+        return True
+
+    def hosts_group(self, group: str) -> bool:
+        """True if any resident VM belongs to ``group``."""
+        return any(
+            resident.anti_affinity_group == group for resident in self.vms.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+
+    def place(self, vm: VM) -> None:
+        """Bind ``vm`` to this host (it must be unplaced and fit)."""
+        if not self.is_active:
+            raise HostNotActive(
+                "cannot place {} on {} in state {}".format(
+                    vm.name, self.name, self.state.value
+                )
+            )
+        if vm.placed:
+            raise RuntimeError("{} is already placed on {}".format(vm.name, vm.host.name))
+        if not self.fits(vm):
+            group = vm.anti_affinity_group
+            if group is not None and (
+                self.hosts_group(group) or group in self.groups_reserved
+            ):
+                reason = "anti-affinity group {!r} already on {}".format(
+                    group, self.name
+                )
+            else:
+                reason = "{} GB requested, {} GB free on {}".format(
+                    vm.mem_gb, self.mem_free_gb, self.name
+                )
+            raise InsufficientCapacity(
+                "{} does not fit: {}".format(vm.name, reason)
+            )
+        self.vms[vm.name] = vm
+        vm.host = self
+
+    def remove(self, vm: VM) -> None:
+        """Unbind ``vm`` from this host."""
+        if self.vms.pop(vm.name, None) is None:
+            raise KeyError("{} is not on {}".format(vm.name, self.name))
+        vm.host = None
+
+    # ------------------------------------------------------------------
+    # Demand & power
+    # ------------------------------------------------------------------
+
+    def demand_cores(self, t: float) -> float:
+        """Total CPU demand at ``t``: VM demand plus migration tax."""
+        return (
+            sum(vm.demand_cores(t) for vm in self.vms.values())
+            + self.migration_tax_cores
+        )
+
+    def shortfall_by_class(self, t: float) -> Dict["Priority", float]:
+        """Undelivered cores per service class at ``t``.
+
+        Delivery is strict-priority: the migration tax is served first
+        (infrastructure work cannot be deprioritized), then GOLD, SILVER,
+        BRONZE in order until capacity runs out.  A parked host with VMs
+        delivers nothing.
+        """
+        from repro.datacenter.vm import Priority
+
+        demand_per_class: Dict[Priority, float] = {p: 0.0 for p in Priority}
+        for vm in self.vms.values():
+            demand_per_class[vm.priority] += vm.demand_cores(t)
+        shortfall: Dict[Priority, float] = {p: 0.0 for p in Priority}
+        if not self.is_active and self.vms:
+            return demand_per_class
+        capacity_left = max(0.0, self.cores - self.migration_tax_cores)
+        if self.is_active and self.dvfs is not None:
+            capacity_left = max(
+                0.0, self.cores * self.frequency - self.migration_tax_cores
+            )
+        for priority in sorted(Priority):
+            demand = demand_per_class[priority]
+            delivered = min(demand, capacity_left)
+            capacity_left -= delivered
+            shortfall[priority] = demand - delivered
+        return shortfall
+
+    def refresh_utilization(self, t: float) -> float:
+        """Re-sample demand, push utilization into the power machine.
+
+        Returns the *shortfall* in cores (demand beyond capacity) so the
+        caller can book performance violations.  A parked host with VMs is
+        a management-layer bug, guarded against in ``park()``.
+
+        When a DVFS governor is attached, the frequency is re-selected
+        each refresh (ondemand-style): the lowest P-state that keeps load
+        under ``dvfs_target`` of the scaled capacity.  Demand beyond the
+        scaled capacity is a shortfall — but the governor never selects a
+        frequency that creates one if nominal frequency avoids it.
+        """
+        demand = self.demand_cores(t)
+        if self.machine.is_active and self.dvfs is not None:
+            self.frequency = self.dvfs.level_for(
+                demand / self.cores, target=self.dvfs_target
+            )
+        elif self.dvfs is not None:
+            self.frequency = self.dvfs.levels[0]
+        capacity = self.cores * (self.frequency if self.dvfs else 1.0)
+        shortfall = max(0.0, demand - capacity)
+        utilization = min(demand / self.cores, 1.0)
+        if self.machine.is_active:
+            scale = self.dvfs.power_scale(self.frequency) if self.dvfs else 1.0
+            self.machine.set_utilization(utilization, dynamic_scale=scale)
+        else:
+            self.machine.set_utilization(0.0)
+            if self.vms:
+                # Host is unavailable: nothing is delivered.
+                shortfall = demand
+        return shortfall
+
+    def power_w(self) -> float:
+        return self.machine.power_w()
+
+    def energy_j(self) -> float:
+        return self.machine.energy_j()
+
+    # ------------------------------------------------------------------
+    # Power-state changes (generators for env.process)
+    # ------------------------------------------------------------------
+
+    def park(self, state: PowerState):
+        """Transition generator: ACTIVE → parked ``state``.
+
+        The host must be empty — the management layer evacuates first.
+        """
+        if self.vms:
+            raise HostNotActive(
+                "refusing to park {} with {} VMs resident".format(
+                    self.name, len(self.vms)
+                )
+            )
+        if not state.is_parked:
+            raise ValueError("park target must be a parked state")
+        return self.machine.transition_to(state)
+
+    def wake(self):
+        """Transition generator: parked → ACTIVE.
+
+        With fault injection attached, the attempt may fail: it consumes
+        the full resume latency and energy, then leaves the host parked
+        (and possibly permanently out of service).  The generator's return
+        value is the resulting state, so callers can detect the failure.
+        """
+        if self.out_of_service:
+            raise HostNotActive("{} is out of service".format(self.name))
+        fail = self._injector.draw_wake_failure() if self._injector else False
+        if fail:
+            self.wake_failures += 1
+            if self._injector.draw_permanent():
+                return self._failed_wake_permanent()
+        return self.machine.transition_to(PowerState.ACTIVE, fail=fail)
+
+    def _failed_wake_permanent(self):
+        result = yield self.env.process(
+            self.machine.transition_to(PowerState.ACTIVE, fail=True)
+        )
+        self.out_of_service = True
+        return result
+
+    def __repr__(self) -> str:
+        return "<Host {} {} vms={} {:.0f}W>".format(
+            self.name, self.state.value, len(self.vms), self.power_w()
+        )

@@ -1,0 +1,79 @@
+"""Virtual machine model."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class Priority(enum.IntEnum):
+    """Service class; lower value = higher priority.
+
+    When a host is overloaded, CPU is delivered strictly by class: GOLD
+    first, then SILVER, then BRONZE — so capacity shortfalls concentrate
+    on the lowest class, mirroring enterprise resource-pool shares.
+    """
+
+    GOLD = 0
+    SILVER = 1
+    BRONZE = 2
+
+
+class VM:
+    """A virtual machine with a time-varying CPU demand.
+
+    Attributes:
+        name: unique identifier.
+        vcpus: configured virtual CPUs (the demand ceiling, in cores).
+        mem_gb: configured memory; the live-migration model transfers it.
+        trace: object with ``at(t) -> float`` in [0, 1] giving the fraction
+            of ``vcpus`` demanded at simulated time ``t``.
+        priority: service class (default BRONZE — lowest).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vcpus: float,
+        mem_gb: float,
+        trace,
+        priority: Priority = Priority.BRONZE,
+    ) -> None:
+        if vcpus <= 0:
+            raise ValueError("vcpus must be positive")
+        if mem_gb <= 0:
+            raise ValueError("mem_gb must be positive")
+        self.name = name
+        self.vcpus = float(vcpus)
+        self.mem_gb = float(mem_gb)
+        self.trace = trace
+        self.priority = Priority(priority)
+        #: HA constraint: VMs sharing a group must not share a host.
+        self.anti_affinity_group: Optional[str] = None
+        #: Host currently running the VM (maintained by Host.place/remove).
+        self.host: Optional["Host"] = None  # noqa: F821
+        #: True while a live migration of this VM is in flight.
+        self.migrating = False
+        #: Dirty-page rate in GB/s, used by the pre-copy migration model.
+        self.dirty_rate_gbps = 0.05
+        #: Cumulative count of completed migrations of this VM.
+        self.migration_count = 0
+
+    def demand_cores(self, t: float) -> float:
+        """CPU demand at time ``t``, in cores (clamped to [0, vcpus])."""
+        fraction = self.trace.at(t)
+        if fraction < 0:
+            raise ValueError(
+                "trace for {} returned negative demand {}".format(self.name, fraction)
+            )
+        return min(fraction, 1.0) * self.vcpus
+
+    @property
+    def placed(self) -> bool:
+        return self.host is not None
+
+    def __repr__(self) -> str:
+        where = self.host.name if self.host else "unplaced"
+        return "<VM {} {}vcpu {}GB on {}>".format(
+            self.name, self.vcpus, self.mem_gb, where
+        )

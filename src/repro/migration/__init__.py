@@ -1,0 +1,11 @@
+"""Live-migration substrate: pre-copy timing model and execution engine."""
+
+from repro.migration.model import PreCopyModel, PreCopyOutcome
+from repro.migration.engine import MigrationEngine, MigrationRecord
+
+__all__ = [
+    "MigrationEngine",
+    "MigrationRecord",
+    "PreCopyModel",
+    "PreCopyOutcome",
+]

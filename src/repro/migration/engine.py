@@ -1,0 +1,161 @@
+"""Migration execution: runs pre-copy migrations inside the simulation.
+
+Responsibilities beyond the analytic model:
+
+* throttling — a cluster-wide cap plus a per-host cap on concurrent
+  migrations, as real hypervisor managers enforce;
+* resource side-effects — CPU tax on both endpoints and a destination
+  memory reservation for the full flight time;
+* the atomic switch-over of the VM's placement at completion;
+* a ledger the overhead experiments (T3/F7) read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datacenter.host import Host
+from repro.datacenter.vm import VM
+from repro.migration.model import PreCopyModel
+from repro.sim import Resource
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed (or aborted) migration, for the overhead ledger."""
+
+    vm_name: str
+    src_name: str
+    dst_name: str
+    start_s: float
+    duration_s: float
+    downtime_s: float
+    transferred_gb: float
+    aborted: bool = False
+
+
+class MigrationEngine:
+    """Schedules and executes live migrations on a cluster."""
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        model: Optional[PreCopyModel] = None,
+        max_concurrent: int = 4,
+        max_per_host: int = 2,
+    ) -> None:
+        if max_concurrent < 1 or max_per_host < 1:
+            raise ValueError("concurrency caps must be >= 1")
+        self.env = env
+        self.model = model or PreCopyModel()
+        self._cluster_slots = Resource(env, capacity=max_concurrent)
+        self._host_slots: Dict[str, Resource] = {}
+        self._max_per_host = max_per_host
+        self.records: List[MigrationRecord] = []
+        self.in_flight = 0
+        self.completed = 0
+        self.aborted = 0
+
+    def _slots_for(self, host: Host) -> Resource:
+        if host.name not in self._host_slots:
+            self._host_slots[host.name] = Resource(
+                self.env, capacity=self._max_per_host
+            )
+        return self._host_slots[host.name]
+
+    def migrate(self, vm: VM, dst: Host) -> "Process":  # noqa: F821
+        """Start a live migration of ``vm`` to ``dst``; returns the process.
+
+        The process value is the :class:`MigrationRecord`.  Admission
+        errors (wrong source, destination full) raise immediately, before
+        any simulated time passes.
+        """
+        src = vm.host
+        if src is None:
+            raise RuntimeError("cannot migrate unplaced VM {}".format(vm.name))
+        if src is dst:
+            raise ValueError("source and destination are the same host")
+        if vm.migrating:
+            raise RuntimeError("{} is already migrating".format(vm.name))
+        if not dst.is_active:
+            raise RuntimeError(
+                "destination {} is not active ({})".format(dst.name, dst.state.value)
+            )
+        if not dst.fits(vm):
+            raise RuntimeError(
+                "destination {} lacks memory for {}".format(dst.name, vm.name)
+            )
+        # Reserve immediately so concurrent planning can't oversubscribe
+        # memory or violate anti-affinity with a second in-flight replica.
+        dst.mem_reserved_gb += vm.mem_gb
+        if vm.anti_affinity_group is not None:
+            dst.groups_reserved.add(vm.anti_affinity_group)
+        vm.migrating = True
+        return self.env.process(self._run(vm, src, dst))
+
+    def _run(self, vm: VM, src: Host, dst: Host):
+        outcome = self.model.solve(vm.mem_gb, vm.dirty_rate_gbps)
+        start = self.env.now
+        with self._cluster_slots.request() as cluster_slot:
+            yield cluster_slot
+            src_slots = self._slots_for(src)
+            dst_slots = self._slots_for(dst)
+            with src_slots.request() as src_slot:
+                yield src_slot
+                with dst_slots.request() as dst_slot:
+                    yield dst_slot
+                    self.in_flight += 1
+                    src.migration_tax_cores += self.model.cpu_tax_cores
+                    dst.migration_tax_cores += self.model.cpu_tax_cores
+                    try:
+                        yield self.env.timeout(outcome.total_time_s)
+                    finally:
+                        src.migration_tax_cores -= self.model.cpu_tax_cores
+                        dst.migration_tax_cores -= self.model.cpu_tax_cores
+                        self.in_flight -= 1
+                        dst.mem_reserved_gb -= vm.mem_gb
+                        if vm.anti_affinity_group is not None:
+                            dst.groups_reserved.discard(vm.anti_affinity_group)
+                        vm.migrating = False
+
+        # Abort if the VM departed / was moved out from under us, or the
+        # destination stopped being a valid target mid-flight.
+        aborted = vm.host is not src or not dst.is_active
+        if not aborted:
+            src.remove(vm)
+            dst.place(vm)
+            vm.migration_count += 1
+            self.completed += 1
+        else:
+            self.aborted += 1
+        record = MigrationRecord(
+            vm_name=vm.name,
+            src_name=src.name,
+            dst_name=dst.name,
+            start_s=start,
+            duration_s=self.env.now - start,
+            downtime_s=outcome.downtime_s,
+            transferred_gb=outcome.transferred_gb,
+            aborted=aborted,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Ledger queries
+    # ------------------------------------------------------------------
+
+    def migrations_per_hour(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        return self.completed / (horizon_s / 3600.0)
+
+    def total_transferred_gb(self) -> float:
+        return sum(r.transferred_gb for r in self.records if not r.aborted)
+
+    def total_downtime_s(self) -> float:
+        return sum(r.downtime_s for r in self.records if not r.aborted)
+
+    def total_migration_time_s(self) -> float:
+        return sum(r.duration_s for r in self.records if not r.aborted)

@@ -1,0 +1,90 @@
+"""Analytic pre-copy live-migration model.
+
+Standard iterative pre-copy (Xen/VMware style): round 0 copies the full
+memory image while the VM keeps running; each later round copies the pages
+dirtied during the previous round; a final stop-and-copy round transfers
+the residual working set during a brief downtime window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class PreCopyOutcome:
+    """Result of solving the pre-copy recurrence for one migration."""
+
+    total_time_s: float
+    downtime_s: float
+    transferred_gb: float
+    rounds: int
+
+    def __post_init__(self) -> None:
+        if self.total_time_s < 0 or self.downtime_s < 0:
+            raise ValueError("negative migration timing")
+
+
+@dataclass(frozen=True)
+class PreCopyModel:
+    """Parameters of the migration fabric.
+
+    Attributes:
+        bandwidth_gbps: per-migration effective copy bandwidth (GB/s).
+        stop_copy_threshold_gb: residual set small enough to stop-and-copy.
+        max_rounds: cap on iterative rounds (forces convergence for VMs
+            whose dirty rate approaches bandwidth).
+        cpu_tax_cores: cores consumed on *each* of source and destination
+            while a migration is in flight.
+        slowdown: fractional performance loss of the migrating VM, booked
+            by telemetry as violation time (``slowdown * total_time``).
+    """
+
+    bandwidth_gbps: float = 1.25  # ~10 GbE
+    stop_copy_threshold_gb: float = 0.0625  # 64 MB
+    max_rounds: int = 30
+    cpu_tax_cores: float = 0.5
+    slowdown: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.stop_copy_threshold_gb <= 0:
+            raise ValueError("threshold must be positive")
+        if self.max_rounds < 1:
+            raise ValueError("need at least one round")
+        if not 0.0 <= self.slowdown < 1.0:
+            raise ValueError("slowdown must be in [0, 1)")
+
+    def solve(self, mem_gb: float, dirty_rate_gbps: float) -> PreCopyOutcome:
+        """Solve the recurrence for a VM image of ``mem_gb``."""
+        if mem_gb <= 0:
+            raise ValueError("mem_gb must be positive")
+        if dirty_rate_gbps < 0:
+            raise ValueError("dirty rate must be non-negative")
+
+        bw = self.bandwidth_gbps
+        ratio = min(dirty_rate_gbps / bw, 0.99)
+        remaining = mem_gb
+        transferred = 0.0
+        elapsed = 0.0
+        rounds = 0
+        while remaining > self.stop_copy_threshold_gb and rounds < self.max_rounds:
+            round_time = remaining / bw
+            transferred += remaining
+            elapsed += round_time
+            remaining = remaining * ratio
+            rounds += 1
+        downtime = remaining / bw
+        transferred += remaining
+        elapsed += downtime
+        return PreCopyOutcome(
+            total_time_s=elapsed,
+            downtime_s=downtime,
+            transferred_gb=transferred,
+            rounds=rounds + 1,
+        )
+
+    def migration_time_s(self, mem_gb: float, dirty_rate_gbps: float) -> float:
+        return self.solve(mem_gb, dirty_rate_gbps).total_time_s

@@ -1,0 +1,75 @@
+"""Evacuation planning: empty a host so it can be parked."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.datacenter.host import Host
+from repro.datacenter.vm import VM
+
+DemandFn = Callable[[VM], float]
+
+
+def plan_evacuation(
+    host: Host,
+    targets: Sequence[Host],
+    demand_fn: DemandFn,
+    cpu_target: float = 0.85,
+) -> Optional[List[Tuple[VM, Host]]]:
+    """Plan destinations for every VM on ``host``, or None if impossible.
+
+    Uses best-fit over the target hosts' remaining CPU/memory budgets so
+    evacuations concentrate load (the consolidation objective) rather than
+    spreading it.  Targets must not include ``host`` itself.
+
+    Returns a list of ``(vm, destination)`` pairs covering *all* resident,
+    non-migrating VMs; a partial evacuation is useless for parking, so a
+    single unplaceable VM fails the whole plan.
+    """
+    if host in targets:
+        raise ValueError("evacuation targets must exclude the host itself")
+    if not 0.0 < cpu_target <= 1.0:
+        raise ValueError("cpu_target must be in (0, 1]")
+
+    cpu_budget: Dict[str, float] = {}
+    mem_budget: Dict[str, float] = {}
+    groups: Dict[str, set] = {}
+    usable = [t for t in targets if t.available_for_placement]
+    for t in usable:
+        cpu_budget[t.name] = t.cores * cpu_target - sum(
+            demand_fn(vm) for vm in t.vms.values()
+        )
+        mem_budget[t.name] = t.mem_free_gb
+        groups[t.name] = {
+            vm.anti_affinity_group
+            for vm in t.vms.values()
+            if vm.anti_affinity_group is not None
+        } | set(t.groups_reserved)
+
+    movable = [vm for vm in host.vms.values() if not vm.migrating]
+    if len(movable) != len(host.vms):
+        # In-flight migrations pin the host; caller should retry later.
+        return None
+
+    plan: List[Tuple[VM, Host]] = []
+    for vm in sorted(movable, key=demand_fn, reverse=True):
+        demand = demand_fn(vm)
+        fitting = [
+            t
+            for t in usable
+            if demand <= cpu_budget[t.name] + 1e-9
+            and vm.mem_gb <= mem_budget[t.name] + 1e-9
+            and (
+                vm.anti_affinity_group is None
+                or vm.anti_affinity_group not in groups[t.name]
+            )
+        ]
+        if not fitting:
+            return None
+        dst = min(fitting, key=lambda t: cpu_budget[t.name] - demand)
+        cpu_budget[dst.name] -= demand
+        mem_budget[dst.name] -= vm.mem_gb
+        if vm.anti_affinity_group is not None:
+            groups[dst.name].add(vm.anti_affinity_group)
+        plan.append((vm, dst))
+    return plan

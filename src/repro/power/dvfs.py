@@ -1,0 +1,75 @@
+"""DVFS (P-state) modelling.
+
+The complementary knob to host-level parking: scale a running host's
+frequency/voltage down when it is underutilized.  Included so the
+experiments can quantify the paper's implicit comparison — DVFS alone
+cannot approach energy proportionality on servers whose idle power is
+half of peak, because it only shrinks the *dynamic* share of power.
+
+Model: at relative frequency ``f`` (fraction of nominal), the host's
+compute capacity scales by ``f`` and the *dynamic* power component scales
+by ``static_fraction + (1 - static_fraction) * f**exponent`` (voltage
+scales with frequency, so dynamic power is super-linear in ``f``; the
+static fraction covers leakage and non-core components that do not
+scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """P-state table plus the dynamic-power scaling law.
+
+    Attributes:
+        levels: available relative frequencies, ascending, ending at 1.0.
+        static_fraction: share of dynamic-range power that does not scale
+            with frequency (uncore, memory, fans riding on utilization).
+        exponent: frequency exponent of the scalable share (~2–3 for
+            combined voltage-frequency scaling).
+    """
+
+    levels: Tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+    static_fraction: float = 0.35
+    exponent: float = 2.2
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("need at least one P-state level")
+        if list(self.levels) != sorted(self.levels):
+            raise ValueError("levels must be ascending")
+        if self.levels[-1] != 1.0:
+            raise ValueError("highest level must be 1.0 (nominal)")
+        if self.levels[0] <= 0.0:
+            raise ValueError("levels must be positive")
+        if not 0.0 <= self.static_fraction <= 1.0:
+            raise ValueError("static_fraction must be in [0, 1]")
+        if self.exponent < 1.0:
+            raise ValueError("exponent must be >= 1")
+
+    def power_scale(self, frequency: float) -> float:
+        """Multiplier on the dynamic power component at ``frequency``."""
+        if not 0.0 < frequency <= 1.0:
+            raise ValueError("frequency must be in (0, 1]")
+        return self.static_fraction + (1.0 - self.static_fraction) * (
+            frequency ** self.exponent
+        )
+
+    def level_for(self, load_fraction: float, target: float = 0.8) -> float:
+        """Lowest P-state whose scaled capacity keeps load under ``target``.
+
+        ``load_fraction`` is demand / nominal capacity.  Returns 1.0 when
+        even the nominal frequency cannot meet the target (the governor
+        never throttles an overloaded host further).
+        """
+        if load_fraction < 0:
+            raise ValueError("load_fraction must be non-negative")
+        if not 0.0 < target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        for level in self.levels:
+            if load_fraction <= target * level:
+                return level
+        return self.levels[-1]

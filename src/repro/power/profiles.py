@@ -1,0 +1,115 @@
+"""Server power profiles: stable-state draws plus the transition table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.power.models import PowerModel
+from repro.power.states import (
+    IllegalTransition,
+    PowerState,
+    TransitionSpec,
+    TransitionTable,
+    validate_transition_table,
+)
+
+
+@dataclass
+class ServerPowerProfile:
+    """Everything needed to compute a host's power draw at any instant.
+
+    Attributes:
+        name: human-readable profile label.
+        active_model: utilization→watts model used while ``ACTIVE``.
+        parked_power_w: draw of each stable parked state, in watts.
+        transitions: latency/power specs for every legal transition.
+    """
+
+    name: str
+    active_model: PowerModel
+    parked_power_w: Dict[PowerState, float]
+    transitions: TransitionTable = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if PowerState.ACTIVE in self.parked_power_w:
+            raise ValueError("ACTIVE power comes from active_model, not the table")
+        for state, watts in self.parked_power_w.items():
+            if watts < 0:
+                raise ValueError("negative parked power for {}".format(state))
+        validate_transition_table(self.transitions)
+        for (src, dst) in self.transitions:
+            for state in (src, dst):
+                if state is not PowerState.ACTIVE and state not in self.parked_power_w:
+                    raise ValueError(
+                        "transition references state {} with no parked power".format(
+                            state.value
+                        )
+                    )
+
+    @property
+    def idle_w(self) -> float:
+        return self.active_model.idle_w
+
+    @property
+    def peak_w(self) -> float:
+        return self.active_model.peak_w
+
+    def stable_power(self, state: PowerState, utilization: float = 0.0) -> float:
+        """Watts drawn while resting in ``state``."""
+        if state is PowerState.ACTIVE:
+            return self.active_model.power_at(utilization)
+        try:
+            return self.parked_power_w[state]
+        except KeyError:
+            raise ValueError(
+                "profile {!r} does not define state {}".format(self.name, state.value)
+            )
+
+    def transition(self, src: PowerState, dst: PowerState) -> TransitionSpec:
+        """The spec for moving ``src`` → ``dst``; raises if illegal."""
+        try:
+            return self.transitions[(src, dst)]
+        except KeyError:
+            raise IllegalTransition(src, dst)
+
+    def can_transition(self, src: PowerState, dst: PowerState) -> bool:
+        return (src, dst) in self.transitions
+
+    def park_states(self) -> List[PowerState]:
+        """Parked states directly reachable from ACTIVE, cheapest-exit first."""
+        reachable = [
+            dst
+            for (src, dst) in self.transitions
+            if src is PowerState.ACTIVE and dst.is_parked
+        ]
+        reachable.sort(key=lambda s: self.transition(s, PowerState.ACTIVE).latency_s)
+        return reachable
+
+    def round_trip(self, state: PowerState) -> Tuple[float, float]:
+        """(total latency, total energy) of ACTIVE → ``state`` → ACTIVE."""
+        enter = self.transition(PowerState.ACTIVE, state)
+        leave = self.transition(state, PowerState.ACTIVE)
+        return (
+            enter.latency_s + leave.latency_s,
+            enter.energy_j + leave.energy_j,
+        )
+
+    def breakeven_idle_s(self, state: PowerState) -> float:
+        """Shortest idle gap for which parking in ``state`` saves energy.
+
+        Solves ``idle_w * T >= E_rt + parked_w * (T - L_rt)`` for T, i.e.
+        the idle duration beyond which round-tripping through the parked
+        state beats staying active-idle.  Returns ``inf`` if parking never
+        pays off (parked draw >= idle draw).
+        """
+        parked_w = self.stable_power(state)
+        idle_w = self.idle_w
+        if parked_w >= idle_w:
+            return float("inf")
+        latency, energy = self.round_trip(state)
+        # During the transition window the host burns `energy` joules; while
+        # parked it draws parked_w. Break-even T satisfies:
+        #   idle_w * T = energy + parked_w * max(T - latency, 0)
+        t = (energy - parked_w * latency) / (idle_w - parked_w)
+        return max(t, latency)

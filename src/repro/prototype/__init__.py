@@ -1,0 +1,46 @@
+"""Calibrated stand-in for the paper's hardware prototype.
+
+The paper characterizes low-latency power states (ACPI S3) on real IBM
+BladeCenter-class servers and compares them with traditional states
+(S4 hibernate, S5 soft-off).  We cannot run that hardware here, so this
+package provides:
+
+* :mod:`~repro.prototype.calibration` — power/latency numbers synthesized to
+  match the qualitative envelope of 2012-era published measurements
+  (idle ≈ half of peak; S3 at a few watts with seconds-scale exit; S5 at
+  BMC-only draw with minutes-scale boot);
+* :mod:`~repro.prototype.characterize` — the measurement campaign that
+  regenerates the characterization table (T1), the break-even analysis (F2)
+  and the single-host suspend/resume timeline (F3).
+
+Every number is a *model input*, not a claim about any specific machine;
+see DESIGN.md's substitution table.
+"""
+
+from repro.prototype.calibration import (
+    LEGACY_BLADE,
+    PROTOTYPE_BLADE,
+    make_legacy_blade_profile,
+    make_prototype_blade_profile,
+)
+from repro.prototype.characterize import (
+    StateCharacterization,
+    breakeven_curve,
+    characterization_table,
+    energy_during_gap,
+    format_characterization_table,
+    replay_idle_window,
+)
+
+__all__ = [
+    "LEGACY_BLADE",
+    "PROTOTYPE_BLADE",
+    "StateCharacterization",
+    "breakeven_curve",
+    "characterization_table",
+    "energy_during_gap",
+    "format_characterization_table",
+    "make_legacy_blade_profile",
+    "make_prototype_blade_profile",
+    "replay_idle_window",
+]

@@ -1,0 +1,119 @@
+"""Calibration constants for the prototype-server power profiles.
+
+Two profiles are defined:
+
+* ``PROTOTYPE_BLADE`` — the paper's proposal: firmware exposes the full set
+  of low-latency states (S3 sleep in addition to S4/S5).
+* ``LEGACY_BLADE`` — a traditional enterprise server where the only
+  park option is a full shutdown/boot cycle (S5).
+
+The absolute numbers are synthetic but chosen to preserve the ratios the
+paper's argument rests on:
+
+==============  ========  ===============  ===============
+state           watts     entry latency    exit latency
+==============  ========  ===============  ===============
+ACTIVE idle     155.0     —                —
+ACTIVE peak     315.0     —                —
+S3 sleep        11.5      8 s              12 s
+S4 hibernate    8.0       30 s             50 s
+S5 off          5.5       45 s             185 s (boot)
+==============  ========  ===============  ===============
+
+i.e. idle ≈ 49 % of peak (motivating host-level parking), S3 saves ~93 %
+of idle power with a ~20 s round trip, while S5's round trip is ~230 s —
+an order of magnitude slower, which is exactly the gap the management
+experiments exercise.
+"""
+
+from __future__ import annotations
+
+from repro.power.models import specpower_like_model
+from repro.power.profiles import ServerPowerProfile
+from repro.power.states import PowerState, TransitionSpec
+
+#: ACTIVE-state endpoints shared by both profiles.
+ACTIVE_IDLE_W = 155.0
+ACTIVE_PEAK_W = 315.0
+
+#: Stable parked-state draws (watts).
+SLEEP_W = 11.5
+HIBERNATE_W = 8.0
+OFF_W = 5.5
+
+#: Transition specs: (latency seconds, average watts during transition).
+SUSPEND_SPEC = TransitionSpec(latency_s=8.0, power_w=140.0)
+RESUME_SPEC = TransitionSpec(latency_s=12.0, power_w=180.0)
+HIBERNATE_SPEC = TransitionSpec(latency_s=30.0, power_w=150.0)
+DEHIBERNATE_SPEC = TransitionSpec(latency_s=50.0, power_w=200.0)
+SHUTDOWN_SPEC = TransitionSpec(latency_s=45.0, power_w=120.0)
+BOOT_SPEC = TransitionSpec(latency_s=185.0, power_w=230.0)
+
+
+def make_prototype_blade_profile(
+    idle_w: float = ACTIVE_IDLE_W,
+    peak_w: float = ACTIVE_PEAK_W,
+    resume_latency_s: float = RESUME_SPEC.latency_s,
+    latency_jitter: float = 0.0,
+) -> ServerPowerProfile:
+    """Build the low-latency-capable profile.
+
+    ``resume_latency_s`` is exposed as a knob because the latency-
+    sensitivity experiment (F9) sweeps it.  ``latency_jitter`` (a fraction
+    of each transition's nominal latency, 0–1) turns every latency into a
+    per-transition uniform draw — the run-to-run variation real firmware
+    shows, especially on resume/boot.
+    """
+    if not 0.0 <= latency_jitter <= 1.0:
+        raise ValueError("latency_jitter must be in [0, 1]")
+
+    def jittered(spec: TransitionSpec) -> TransitionSpec:
+        if latency_jitter <= 0.0:
+            return spec
+        return TransitionSpec(
+            latency_s=spec.latency_s,
+            power_w=spec.power_w,
+            jitter_s=spec.latency_s * latency_jitter,
+        )
+
+    resume = jittered(
+        TransitionSpec(latency_s=resume_latency_s, power_w=RESUME_SPEC.power_w)
+    )
+    return ServerPowerProfile(
+        name="prototype-blade",
+        active_model=specpower_like_model(idle_w=idle_w, peak_w=peak_w),
+        parked_power_w={
+            PowerState.SLEEP: SLEEP_W,
+            PowerState.HIBERNATE: HIBERNATE_W,
+            PowerState.OFF: OFF_W,
+        },
+        transitions={
+            (PowerState.ACTIVE, PowerState.SLEEP): jittered(SUSPEND_SPEC),
+            (PowerState.SLEEP, PowerState.ACTIVE): resume,
+            (PowerState.ACTIVE, PowerState.HIBERNATE): jittered(HIBERNATE_SPEC),
+            (PowerState.HIBERNATE, PowerState.ACTIVE): jittered(DEHIBERNATE_SPEC),
+            (PowerState.ACTIVE, PowerState.OFF): jittered(SHUTDOWN_SPEC),
+            (PowerState.OFF, PowerState.ACTIVE): jittered(BOOT_SPEC),
+        },
+    )
+
+
+def make_legacy_blade_profile(
+    idle_w: float = ACTIVE_IDLE_W,
+    peak_w: float = ACTIVE_PEAK_W,
+) -> ServerPowerProfile:
+    """Build the traditional profile: the only park option is S5 off."""
+    return ServerPowerProfile(
+        name="legacy-blade",
+        active_model=specpower_like_model(idle_w=idle_w, peak_w=peak_w),
+        parked_power_w={PowerState.OFF: OFF_W},
+        transitions={
+            (PowerState.ACTIVE, PowerState.OFF): SHUTDOWN_SPEC,
+            (PowerState.OFF, PowerState.ACTIVE): BOOT_SPEC,
+        },
+    )
+
+
+#: Shared default instances (treat as immutable).
+PROTOTYPE_BLADE = make_prototype_blade_profile()
+LEGACY_BLADE = make_legacy_blade_profile()

@@ -1,0 +1,197 @@
+"""Measurement-campaign harness over the prototype power profiles.
+
+Regenerates, from the calibrated profiles, the three prototype-level
+results the paper builds its case on:
+
+* the state-characterization table (T1),
+* the break-even idle-interval analysis (F2), and
+* a single-host suspend/resume power timeline (F3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.power.machine import HostPowerStateMachine
+from repro.power.profiles import ServerPowerProfile
+from repro.power.states import PowerState
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class StateCharacterization:
+    """One row of the T1 characterization table."""
+
+    state: PowerState
+    stable_power_w: float
+    entry_latency_s: float
+    exit_latency_s: float
+    round_trip_energy_j: float
+    breakeven_idle_s: float
+
+    def savings_vs_idle(self, idle_w: float) -> float:
+        """Fraction of active-idle power saved while resting in the state."""
+        if idle_w <= 0:
+            raise ValueError("idle_w must be positive")
+        return 1.0 - self.stable_power_w / idle_w
+
+
+def characterization_table(profile: ServerPowerProfile) -> List[StateCharacterization]:
+    """Rows for every parked state reachable from ACTIVE, fastest-exit first."""
+    rows = []
+    for state in profile.park_states():
+        enter = profile.transition(PowerState.ACTIVE, state)
+        leave = profile.transition(state, PowerState.ACTIVE)
+        rows.append(
+            StateCharacterization(
+                state=state,
+                stable_power_w=profile.stable_power(state),
+                entry_latency_s=enter.latency_s,
+                exit_latency_s=leave.latency_s,
+                round_trip_energy_j=enter.energy_j + leave.energy_j,
+                breakeven_idle_s=profile.breakeven_idle_s(state),
+            )
+        )
+    return rows
+
+
+def format_characterization_table(profile: ServerPowerProfile) -> str:
+    """Human-readable T1 table, printed by the bench harness."""
+    lines = [
+        "T1: power-state characterization ({})".format(profile.name),
+        "{:<10} {:>9} {:>9} {:>9} {:>11} {:>11}".format(
+            "state", "power[W]", "entry[s]", "exit[s]", "rt-E[J]", "brkeven[s]"
+        ),
+        "{:<10} {:>9.1f} {:>9} {:>9} {:>11} {:>11}".format(
+            "active", profile.idle_w, "-", "-", "-", "-"
+        ),
+    ]
+    for row in characterization_table(profile):
+        lines.append(
+            "{:<10} {:>9.1f} {:>9.1f} {:>9.1f} {:>11.1f} {:>11.1f}".format(
+                row.state.value,
+                row.stable_power_w,
+                row.entry_latency_s,
+                row.exit_latency_s,
+                row.round_trip_energy_j,
+                row.breakeven_idle_s,
+            )
+        )
+    return "\n".join(lines)
+
+
+def energy_during_gap(
+    profile: ServerPowerProfile, state: PowerState, gap_s: float
+) -> float:
+    """Joules consumed over an idle gap of ``gap_s`` when parking in ``state``.
+
+    The host enters the state at the start of the gap and exits so as to be
+    ACTIVE again at (or as soon after as possible) the end.  For gaps
+    shorter than the round-trip latency the transitions still run to
+    completion, so their full energy is charged (the host additionally
+    overshoots the gap — availability cost is handled by the management
+    experiments, not here).
+    """
+    if gap_s < 0:
+        raise ValueError("gap must be non-negative")
+    enter = profile.transition(PowerState.ACTIVE, state)
+    leave = profile.transition(state, PowerState.ACTIVE)
+    dwell = max(0.0, gap_s - enter.latency_s - leave.latency_s)
+    return enter.energy_j + leave.energy_j + profile.stable_power(state) * dwell
+
+
+def breakeven_curve(
+    profile: ServerPowerProfile,
+    gaps_s: Sequence[float],
+    states: Iterable[PowerState] = (),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """F2 series: normalized energy of each park strategy vs. idle-gap length.
+
+    Returns, per strategy name, points ``(gap_s, energy / idle_energy)``:
+    values below 1.0 mean the strategy saves energy over staying
+    active-idle for the whole gap.  The crossing of 1.0 is the break-even
+    interval — the headline contrast between S3 and S5.
+    """
+    chosen = list(states) or profile.park_states()
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for state in chosen:
+        series = []
+        for gap in gaps_s:
+            if gap <= 0:
+                raise ValueError("gaps must be positive")
+            idle_energy = profile.idle_w * gap
+            series.append((gap, energy_during_gap(profile, state, gap) / idle_energy))
+        curves[state.value] = series
+    return curves
+
+
+def replay_idle_window(
+    profile: ServerPowerProfile,
+    park_state: PowerState,
+    busy_before_s: float = 300.0,
+    idle_gap_s: float = 600.0,
+    busy_after_s: float = 300.0,
+    busy_utilization: float = 0.6,
+) -> Dict[str, object]:
+    """F3: run one host through busy → idle(park) → busy and trace power.
+
+    A miniature end-to-end exercise of the state machine: the host serves
+    load, the gap opens, the controller parks it, and a wake is issued in
+    time for the next busy phase (resume latency permitting).
+
+    Returns a dict with the power ``trace`` ((time, watts) change points),
+    total ``energy_j``, the ``energy_j_always_on`` counterfactual, and
+    ``late_s`` — how far past the end of the gap the host became ACTIVE
+    (0 for a well-timed wake; positive values show wake-latency exposure).
+    """
+    env = Environment()
+    machine = HostPowerStateMachine(env, profile, record_trace=True)
+    exit_latency = profile.transition(park_state, PowerState.ACTIVE).latency_s
+    wake_at = max(busy_before_s, busy_before_s + idle_gap_s - exit_latency)
+    active_again_at = {"time": None}
+
+    def driver(env):
+        machine.set_utilization(busy_utilization)
+        yield env.timeout(busy_before_s)
+        machine.set_utilization(0.0)
+        yield env.process(machine.transition_to(park_state))
+        # Sleep until the scheduled wake point (suspend latency may already
+        # have eaten into the gap).
+        remaining = wake_at - env.now
+        if remaining > 0:
+            yield env.timeout(remaining)
+        yield env.process(machine.transition_to(PowerState.ACTIVE))
+        active_again_at["time"] = env.now
+        # Wait out the rest of the gap if we woke early, then serve load.
+        gap_end = busy_before_s + idle_gap_s
+        if env.now < gap_end:
+            yield env.timeout(gap_end - env.now)
+        machine.set_utilization(busy_utilization)
+        yield env.timeout(busy_after_s)
+        machine.set_utilization(0.0)
+
+    driver_proc = env.process(driver(env))
+    horizon = busy_before_s + idle_gap_s + busy_after_s
+    energy_at_horizon = {}
+
+    def probe(env):
+        yield env.timeout(horizon)
+        energy_at_horizon["value"] = machine.energy_j()
+
+    env.process(probe(env))
+    env.run(until=driver_proc)
+
+    always_on = (
+        profile.active_model.power_at(busy_utilization) * (busy_before_s + busy_after_s)
+        + profile.idle_w * idle_gap_s
+    )
+    gap_end = busy_before_s + idle_gap_s
+    late = max(0.0, (active_again_at["time"] or gap_end) - gap_end)
+    return {
+        "trace": machine.meter.trace,
+        "energy_j": energy_at_horizon.get("value", machine.energy_j()),
+        "energy_j_always_on": always_on,
+        "late_s": late,
+        "transitions": dict(machine.transition_counts),
+    }

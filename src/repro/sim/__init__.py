@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, simpy-style kernel: generator-based processes
+scheduled on a deterministic event heap.  The rest of the reproduction —
+power-state machines, migrations, management controllers — is written as
+processes on top of this package.
+
+Typical usage::
+
+    from repro.sim import Environment
+
+    def clock(env, period):
+        while True:
+            yield env.timeout(period)
+            print("tick at", env.now)
+
+    env = Environment()
+    env.process(clock(env, 10.0))
+    env.run(until=100.0)
+"""
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessCrashed
+from repro.sim.environment import Environment, StopSimulation
+from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "ProcessCrashed",
+    "Request",
+    "Resource",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,166 @@
+"""The simulation environment: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    PRIORITY_NORMAL,
+    Timeout,
+)
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Owns simulated time and executes events in timestamp order.
+
+    Ties are broken by scheduling priority, then by insertion order, which
+    makes runs fully deterministic for a fixed program and seed.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+        self._active_generator = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by convention in this repo)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling & execution
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Place a (triggered) event onto the heap ``delay`` from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay={})".format(delay))
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events")
+        if when < self._now:
+            raise AssertionError("event heap yielded a past timestamp")
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # A failure nobody consumed: surface it to the driver.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Execute events until ``until``.
+
+        ``until`` may be:
+
+        * ``None`` — run until the heap drains;
+        * a number — run until that simulated time (clock lands exactly
+          there even if no event is scheduled at it);
+        * an :class:`Event` — run until it fires, returning its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(
+                    "until={} is in the past (now={})".format(at, self._now)
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            self.schedule(stop_event, delay=at - self._now, priority=-1)
+            stop_event.callbacks.append(self._stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            if isinstance(until, Event):
+                if not until.ok:
+                    raise until.value
+                return until.value
+            return None
+        except EmptySchedule:
+            pass
+
+        if isinstance(until, Event):
+            raise RuntimeError(
+                "simulation ran out of events before {!r} fired".format(until)
+            )
+        if stop_event is not None and not stop_event.processed:
+            # Numeric `until` beyond the last event: advance the clock.
+            self._now = max(self._now, float(until))
+        return None
+
+    def _stop_callback(self, event: Event) -> None:
+        raise StopSimulation()
+
+    def __repr__(self) -> str:
+        return "<Environment now={} queued={}>".format(self._now, len(self._queue))

@@ -1,0 +1,147 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, Initialize, Interrupt, PRIORITY_URGENT, _PENDING
+
+
+class ProcessCrashed(RuntimeError):
+    """Wraps an exception that escaped a process with no waiter to absorb it."""
+
+
+class Process(Event):
+    """A running simulation activity.
+
+    A process wraps a generator that yields :class:`~repro.sim.Event`
+    instances.  Each yielded event suspends the process until the event
+    fires; its value is sent back into the generator (failures are thrown).
+    The process itself is an event that triggers when the generator returns,
+    so processes can wait for each other::
+
+        def parent(env):
+            child_proc = env.process(child(env))
+            result = yield child_proc
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:  # noqa: F821
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                "Process requires a generator, got {!r}".format(generator)
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        return self._generator.__name__
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is about to be resumed is safe — the interrupt is delivered
+        first (urgent priority).
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt finished process {!r}".format(self))
+        if self._generator is getattr(self.env, "_active_generator", None):
+            raise RuntimeError("a process cannot interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        self.env._active_generator = self._generator
+
+        # Detach from the event we were waiting on (relevant for interrupts:
+        # the original target may fire later and must not resume us again).
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except BaseException as exc:
+            self._finish_fail(exc)
+            return
+        finally:
+            self.env._active_process = None
+            self.env._active_generator = None
+
+        self._wait_on(next_event)
+
+    def _wait_on(self, event: Any) -> None:
+        if not isinstance(event, Event):
+            exc = TypeError(
+                "process {!r} yielded a non-event: {!r}".format(self.name, event)
+            )
+            # Deliver the error to the offending process on the next step.
+            error_event = Event(self.env)
+            error_event._ok = False
+            error_event._value = exc
+            error_event.defused = True
+            error_event.callbacks.append(self._resume)
+            self.env.schedule(error_event, priority=PRIORITY_URGENT)
+            return
+        if event.env is not self.env:
+            raise ValueError("yielded event belongs to a different environment")
+        if event.processed:
+            # Already done: resume immediately on the next step.
+            proxy = Event(self.env)
+            proxy._ok = event._ok
+            proxy._value = event._value
+            if not event._ok:
+                proxy.defused = True
+            proxy.callbacks.append(self._resume)
+            self.env.schedule(proxy, priority=PRIORITY_URGENT)
+        else:
+            event.callbacks.append(self._resume)
+        self._target = event
+
+    def _finish_ok(self, value: Any) -> None:
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+
+    def _finish_fail(self, exc: BaseException) -> None:
+        self._ok = False
+        self._value = exc
+        self.env.schedule(self)
+
+    def __repr__(self) -> str:
+        return "<Process {} {} at {:#x}>".format(
+            self.name,
+            "alive" if self.is_alive else "finished",
+            id(self),
+        )

@@ -1,0 +1,227 @@
+"""Shared-resource primitives: semaphore-style resources, containers, stores.
+
+Used by the datacenter model e.g. to cap concurrent live migrations per host
+and to model shared migration-network bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            ... hold the slot ...
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``capacity`` slots; :meth:`request` returns an event that fires when a
+    slot is granted; :meth:`release` frees a slot and wakes the next waiter.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:  # noqa: F821
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got {}".format(capacity))
+        self.env = env
+        self._capacity = capacity
+        self._users: List[Request] = []
+        self._queue: List[Tuple[int, int, Request]] = []
+        self._tie = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of granted (in-use) slots."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Free the slot held by ``request`` (idempotent for unknown reqs)."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            self._cancel(request)
+            return
+        self._grant_next()
+
+    def _enqueue(self, request: Request) -> None:
+        self._tie += 1
+        heapq.heappush(self._queue, (request.priority, self._tie, request))
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        self._queue = [entry for entry in self._queue if entry[2] is not request]
+        heapq.heapify(self._queue)
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self._capacity:
+            _, _, nxt = heapq.heappop(self._queue)
+            if nxt.triggered:
+                continue
+            self._users.append(nxt)
+            nxt.succeed(self)
+
+    def __repr__(self) -> str:
+        return "<{} {}/{} used, {} queued>".format(
+            type(self).__name__, self.count, self._capacity, self.queued
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-first."""
+
+    def request(self, priority: int = 0) -> Request:
+        return Request(self, priority)
+
+
+class Container:
+    """A continuous-level reservoir (e.g. bandwidth-seconds, joules).
+
+    ``put`` and ``get`` return events that fire once the amount can be
+    honoured.  Gets are served FIFO to avoid starvation.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self._capacity = capacity
+        self._level = float(init)
+        self._getters: List[Tuple[float, Event]] = []
+        self._putters: List[Tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        event = Event(self.env)
+        self._putters.append((amount, event))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if amount > self._capacity:
+            raise ValueError("get() amount exceeds container capacity")
+        event = Event(self.env)
+        self._getters.append((amount, event))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                amount, event = self._putters[0]
+                if self._level + amount <= self._capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                amount, event = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO queue of arbitrary items with blocking get."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:  # noqa: F821
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self._capacity = capacity
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List[Tuple[Any, Event]] = []
+
+    @property
+    def items(self) -> List[Any]:
+        return list(self._items)
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        self._putters.append((item, event))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self._items) < self._capacity:
+                item, event = self._putters.pop(0)
+                self._items.append(item)
+                event.succeed()
+                progressed = True
+            if self._getters and self._items:
+                event = self._getters.pop(0)
+                event.succeed(self._items.pop(0))
+                progressed = True

@@ -1,0 +1,18 @@
+"""Telemetry: time series, the sampling loop, and SLA accounting.
+
+The :class:`ClusterSampler` is the simulation's measurement heartbeat — it
+re-samples every VM's demand each epoch, pushes utilization into the host
+power machines, and accumulates the series and integrals every experiment
+reads (power, capacity, shortfall, host counts).
+"""
+
+from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.sampler import ClusterSampler
+from repro.telemetry.metrics import SimReport, build_report
+
+__all__ = [
+    "ClusterSampler",
+    "SimReport",
+    "TimeSeries",
+    "build_report",
+]

@@ -1,0 +1,146 @@
+"""End-of-run report: the numbers every experiment table is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.datacenter.cluster import Cluster
+from repro.migration.engine import MigrationEngine
+from repro.telemetry.sampler import ClusterSampler
+
+
+@dataclass
+class SimReport:
+    """Summary of one simulated management run."""
+
+    policy: str
+    horizon_s: float
+    energy_kwh: float
+    mean_power_w: float
+    peak_power_w: float
+    mean_demand_cores: float
+    mean_active_hosts: float
+    violation_fraction: float
+    violation_time_fraction: float
+    migrations: int
+    migrations_aborted: int
+    migrations_per_hour: float
+    migration_downtime_s: float
+    park_transitions: int
+    wake_transitions: int
+    transitions_per_host_per_day: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready flat dict (extra metrics inlined under ``extra.``)."""
+        payload: Dict[str, object] = {
+            "policy": self.policy,
+            "horizon_s": self.horizon_s,
+            "energy_kwh": self.energy_kwh,
+            "mean_power_w": self.mean_power_w,
+            "peak_power_w": self.peak_power_w,
+            "mean_demand_cores": self.mean_demand_cores,
+            "mean_active_hosts": self.mean_active_hosts,
+            "violation_fraction": self.violation_fraction,
+            "violation_time_fraction": self.violation_time_fraction,
+            "migrations": self.migrations,
+            "migrations_aborted": self.migrations_aborted,
+            "migrations_per_hour": self.migrations_per_hour,
+            "migration_downtime_s": self.migration_downtime_s,
+            "park_transitions": self.park_transitions,
+            "wake_transitions": self.wake_transitions,
+            "transitions_per_host_per_day": self.transitions_per_host_per_day,
+        }
+        for key, value in self.extra.items():
+            payload["extra.{}".format(key)] = value
+        return payload
+
+    def normalized_energy(self, baseline_kwh: float) -> float:
+        """Energy relative to a baseline run (1.0 = no savings)."""
+        if baseline_kwh <= 0:
+            raise ValueError("baseline energy must be positive")
+        return self.energy_kwh / baseline_kwh
+
+    def row(self) -> str:
+        """One formatted table row (see ``header()``)."""
+        return (
+            "{:<14} {:>10.2f} {:>10.1f} {:>8.4f} {:>8.4f} "
+            "{:>7d} {:>8.2f} {:>7d} {:>7d}"
+        ).format(
+            self.policy,
+            self.energy_kwh,
+            self.mean_active_hosts,
+            self.violation_fraction,
+            self.violation_time_fraction,
+            self.migrations,
+            self.migrations_per_hour,
+            self.park_transitions,
+            self.wake_transitions,
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            "{:<14} {:>10} {:>10} {:>8} {:>8} {:>7} {:>8} {:>7} {:>7}"
+        ).format(
+            "policy",
+            "kWh",
+            "hosts",
+            "viol",
+            "violT",
+            "migs",
+            "migs/h",
+            "parks",
+            "wakes",
+        )
+
+
+def build_report(
+    policy: str,
+    cluster: Cluster,
+    sampler: ClusterSampler,
+    engine: Optional[MigrationEngine] = None,
+    horizon_s: Optional[float] = None,
+) -> SimReport:
+    """Assemble a :class:`SimReport` from a finished run's artifacts."""
+    span = horizon_s if horizon_s is not None else cluster.env.now
+    if span <= 0:
+        raise ValueError("horizon must be positive")
+    power = sampler.series["power_w"]
+    parks = 0
+    wakes = 0
+    for host in cluster.hosts:
+        for (src, dst), count in host.machine.transition_counts.items():
+            if dst.is_parked:
+                parks += count
+            else:
+                wakes += count
+    migrations = engine.completed if engine else 0
+    aborted = engine.aborted if engine else 0
+    downtime = engine.total_downtime_s() if engine else 0.0
+    days = span / 86_400.0
+    return SimReport(
+        policy=policy,
+        horizon_s=span,
+        energy_kwh=cluster.energy_j() / 3.6e6,
+        mean_power_w=power.mean() if len(power) else 0.0,
+        peak_power_w=power.max() if len(power) else 0.0,
+        mean_demand_cores=sampler.series["demand_cores"].mean()
+        if len(sampler.series["demand_cores"])
+        else 0.0,
+        mean_active_hosts=sampler.series["active_hosts"].mean()
+        if len(sampler.series["active_hosts"])
+        else 0.0,
+        violation_fraction=sampler.violation_fraction,
+        violation_time_fraction=sampler.violation_time_fraction,
+        migrations=migrations,
+        migrations_aborted=aborted,
+        migrations_per_hour=migrations / (span / 3600.0),
+        migration_downtime_s=downtime,
+        park_transitions=parks,
+        wake_transitions=wakes,
+        transitions_per_host_per_day=(parks + wakes) / max(len(cluster.hosts), 1) / days
+        if days > 0
+        else 0.0,
+    )

@@ -1,0 +1,148 @@
+"""The sampling heartbeat: demand refresh + series collection."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.datacenter.cluster import Cluster
+from repro.datacenter.vm import Priority
+from repro.telemetry.timeseries import TimeSeries
+
+
+class ClusterSampler:
+    """Periodically refreshes demand and records cluster-level series.
+
+    Each epoch (default 60 s) it:
+
+    1. re-evaluates every VM's demand and pushes host utilizations into
+       the power machines (this *is* the simulation's workload dynamics);
+    2. appends one sample to each recorded series;
+    3. accumulates shortfall (demand not delivered) integrals for the
+       performance-violation metrics.
+    """
+
+    SERIES = (
+        "demand_cores",
+        "active_capacity_cores",
+        "committed_capacity_cores",
+        "power_w",
+        "active_hosts",
+        "parked_hosts",
+        "transitioning_hosts",
+        "shortfall_cores",
+        "vm_count",
+        "shortfall_gold",
+        "shortfall_silver",
+        "shortfall_bronze",
+    )
+
+    _CLASS_SERIES = {
+        Priority.GOLD: "shortfall_gold",
+        Priority.SILVER: "shortfall_silver",
+        Priority.BRONZE: "shortfall_bronze",
+    }
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        cluster: Cluster,
+        epoch_s: float = 60.0,
+    ) -> None:
+        if epoch_s <= 0:
+            raise ValueError("epoch_s must be positive")
+        self.env = env
+        self.cluster = cluster
+        self.epoch_s = epoch_s
+        self.series: Dict[str, TimeSeries] = {
+            name: TimeSeries(name) for name in self.SERIES
+        }
+        self.shortfall_core_s = 0.0
+        self.demand_core_s = 0.0
+        self.class_shortfall_core_s: Dict[Priority, float] = {
+            p: 0.0 for p in Priority
+        }
+        self.class_demand_core_s: Dict[Priority, float] = {p: 0.0 for p in Priority}
+        self.samples = 0
+        self._process = None
+
+    def start(self) -> "Process":  # noqa: F821
+        if self._process is not None:
+            raise RuntimeError("sampler already started")
+        self._process = self.env.process(self._run())
+        return self._process
+
+    def sample_once(self) -> float:
+        """Take one sample immediately; returns the epoch's shortfall cores."""
+        now = self.env.now
+        shortfall = self.cluster.refresh_utilization(now)
+        demand = self.cluster.demand_cores(now)
+        s = self.series
+        s["demand_cores"].append(now, demand)
+        s["active_capacity_cores"].append(now, self.cluster.active_capacity_cores())
+        s["committed_capacity_cores"].append(
+            now, self.cluster.committed_capacity_cores()
+        )
+        s["power_w"].append(now, self.cluster.power_w())
+        s["active_hosts"].append(now, len(self.cluster.active_hosts()))
+        s["parked_hosts"].append(now, len(self.cluster.parked_hosts()))
+        s["transitioning_hosts"].append(
+            now, len(self.cluster.transitioning_hosts())
+        )
+        s["shortfall_cores"].append(now, shortfall)
+        s["vm_count"].append(now, len(self.cluster.vms))
+        class_shortfall = {p: 0.0 for p in Priority}
+        for host in self.cluster.hosts:
+            if not host.vms:
+                continue
+            for priority, cores in host.shortfall_by_class(now).items():
+                class_shortfall[priority] += cores
+        class_demand = {p: 0.0 for p in Priority}
+        for vm in self.cluster.vms:
+            class_demand[vm.priority] += vm.demand_cores(now)
+        for priority, name in self._CLASS_SERIES.items():
+            s[name].append(now, class_shortfall[priority])
+            self.class_shortfall_core_s[priority] += (
+                class_shortfall[priority] * self.epoch_s
+            )
+            self.class_demand_core_s[priority] += class_demand[priority] * self.epoch_s
+        self.shortfall_core_s += shortfall * self.epoch_s
+        self.demand_core_s += demand * self.epoch_s
+        self.samples += 1
+        return shortfall
+
+    def _run(self):
+        while True:
+            self.sample_once()
+            yield self.env.timeout(self.epoch_s)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def violation_fraction(self) -> float:
+        """Share of demanded core-seconds that were not delivered."""
+        if self.demand_core_s <= 0:
+            return 0.0
+        return self.shortfall_core_s / self.demand_core_s
+
+    @property
+    def violation_time_fraction(self) -> float:
+        """Share of time with any undelivered demand."""
+        return self.series["shortfall_cores"].fraction_above(1e-9)
+
+    def violation_fraction_by_class(self) -> Dict[Priority, float]:
+        """Per-class share of demanded core-seconds not delivered."""
+        result = {}
+        for priority in Priority:
+            demanded = self.class_demand_core_s[priority]
+            if demanded <= 0:
+                result[priority] = 0.0
+            else:
+                result[priority] = (
+                    self.class_shortfall_core_s[priority] / demanded
+                )
+        return result
+
+    def energy_kwh(self) -> float:
+        return self.cluster.energy_j() / 3.6e6

@@ -1,0 +1,103 @@
+"""Append-only sampled time series with integral/statistic helpers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """(time, value) samples with monotonically non-decreasing time.
+
+    Values are interpreted as piecewise-constant (sample-and-hold) for
+    integration, matching how the sampler produces them.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                "non-monotonic time {} after {}".format(t, self._times[-1])
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    def last(self) -> Tuple[float, float]:
+        if not self._times:
+            raise IndexError("empty series")
+        return self._times[-1], self._values[-1]
+
+    def mean(self) -> float:
+        """Time-weighted mean over the sampled span (simple mean if <2 pts)."""
+        if not self._values:
+            raise ValueError("empty series")
+        if len(self._values) < 2:
+            return self._values[0]
+        return self.integral() / (self._times[-1] - self._times[0])
+
+    def max(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return max(self._values)
+
+    def min(self) -> float:
+        if not self._values:
+            raise ValueError("empty series")
+        return min(self._values)
+
+    def integral(self) -> float:
+        """Sample-and-hold integral of value over time."""
+        if len(self._times) < 2:
+            return 0.0
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        return float(np.sum(values[:-1] * np.diff(times)))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of (held) time the value exceeded ``threshold``."""
+        if len(self._times) < 2:
+            return 0.0
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        span = times[-1] - times[0]
+        if span <= 0:
+            return 0.0
+        above = (values[:-1] > threshold).astype(float)
+        return float(np.sum(above * np.diff(times)) / span)
+
+    def percentile(self, q: float) -> float:
+        """Sample percentile (unweighted) — adequate for uniform sampling."""
+        if not self._values:
+            raise ValueError("empty series")
+        return float(np.percentile(np.asarray(self._values), q))
+
+    def points(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def downsample(self, stride: int) -> "TimeSeries":
+        """Every ``stride``-th sample (for compact figure output)."""
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        out = TimeSeries(self.name)
+        for i in range(0, len(self._times), stride):
+            out.append(self._times[i], self._values[i])
+        return out
+
+    def __repr__(self) -> str:
+        return "<TimeSeries {} n={}>".format(self.name, len(self))

@@ -1,0 +1,63 @@
+"""Workload generation: per-VM demand traces, fleets, and churn.
+
+All randomness flows through explicitly seeded ``numpy`` generators, and
+random traces are materialized as sample grids at construction, so any
+experiment is exactly reproducible from its seed.
+"""
+
+from repro.workload.traces import (
+    BurstyTrace,
+    CompositeTrace,
+    DiurnalTrace,
+    FlatTrace,
+    NoisyTrace,
+    PlateauTrace,
+    SampledTrace,
+    ScaledTrace,
+    SpikeTrace,
+    StepTrace,
+    Trace,
+    WeeklyTrace,
+)
+from repro.workload.loader import trace_from_csv, trace_from_samples
+from repro.workload.fleet import (
+    FleetSpec,
+    assign_replica_groups,
+    build_fleet,
+    enterprise_mix,
+)
+from repro.workload.churn import ChurnGenerator
+from repro.workload.stats import (
+    TraceStats,
+    aggregate_demand_series,
+    fleet_correlation,
+    series_stats,
+    trace_stats,
+)
+
+__all__ = [
+    "BurstyTrace",
+    "ChurnGenerator",
+    "CompositeTrace",
+    "DiurnalTrace",
+    "FlatTrace",
+    "FleetSpec",
+    "NoisyTrace",
+    "PlateauTrace",
+    "SampledTrace",
+    "ScaledTrace",
+    "SpikeTrace",
+    "StepTrace",
+    "Trace",
+    "TraceStats",
+    "WeeklyTrace",
+    "aggregate_demand_series",
+    "assign_replica_groups",
+    "build_fleet",
+    "enterprise_mix",
+    "fleet_correlation",
+    "series_stats",
+    "trace_from_csv",
+    "trace_from_samples",
+    "trace_stats",
+]

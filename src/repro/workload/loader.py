@@ -1,0 +1,78 @@
+"""Loading externally-recorded utilization traces.
+
+Operators reproducing the experiments on their own data can export
+per-VM utilization as CSV (``time_s,fraction`` rows) and feed it in here;
+the result plugs into :class:`~repro.datacenter.VM` like any synthetic
+trace.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.workload.traces import SampledTrace, Trace
+
+
+def trace_from_samples(
+    samples: Iterable[Tuple[float, float]],
+    step_s: float = 60.0,
+) -> SampledTrace:
+    """Resample irregular (time, fraction) points onto a uniform grid.
+
+    Points are interpreted sample-and-hold; the grid spans from the first
+    to the last timestamp.  Values outside [0, 1] are rejected (scale
+    before loading).
+    """
+    points = sorted(samples)
+    if len(points) < 1:
+        raise ValueError("need at least one sample")
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    for _, value in points:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("sample values must be within [0, 1]")
+    start = points[0][0]
+    end = points[-1][0]
+    n = max(1, int((end - start) // step_s) + 1)
+    grid: List[float] = []
+    idx = 0
+    current = points[0][1]
+    for i in range(n):
+        t = start + i * step_s
+        while idx + 1 < len(points) and points[idx + 1][0] <= t:
+            idx += 1
+            current = points[idx][1]
+        grid.append(current)
+    return SampledTrace(grid, step_s=step_s)
+
+
+def trace_from_csv(
+    source: Union[str, TextIO],
+    step_s: float = 60.0,
+    time_column: str = "time_s",
+    value_column: str = "fraction",
+) -> SampledTrace:
+    """Load a trace from CSV text or a file object.
+
+    The CSV must have a header row naming ``time_column`` and
+    ``value_column``.  Extra columns are ignored.
+    """
+    handle: TextIO
+    if isinstance(source, str):
+        handle = io.StringIO(source)
+    else:
+        handle = source
+    reader = csv.DictReader(handle)
+    if reader.fieldnames is None:
+        raise ValueError("CSV has no header row")
+    missing = {time_column, value_column} - set(reader.fieldnames)
+    if missing:
+        raise ValueError("CSV missing columns: {}".format(sorted(missing)))
+    samples = []
+    for row in reader:
+        samples.append((float(row[time_column]), float(row[value_column])))
+    if not samples:
+        raise ValueError("CSV contained no data rows")
+    return trace_from_samples(samples, step_s=step_s)

@@ -1,0 +1,313 @@
+"""Demand traces: deterministic functions of simulated time.
+
+A trace maps time (seconds) to a demand *fraction* in [0, 1] — the share
+of a VM's configured vCPUs it wants at that instant.  Periodic analytic
+traces (diurnal) evaluate directly; stochastic traces (bursty, noisy,
+spiky) pre-draw a sample grid from a seeded RNG so every lookup is pure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+DAY_S = 86_400.0
+
+
+def _clamp01(x: float) -> float:
+    return 0.0 if x < 0.0 else 1.0 if x > 1.0 else x
+
+
+class Trace:
+    """Interface: ``at(t)`` returns demand fraction in [0, 1]."""
+
+    def at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def mean(self, horizon_s: float, step_s: float = 60.0) -> float:
+        """Average demand over [0, horizon) sampled every ``step_s``."""
+        if horizon_s <= 0 or step_s <= 0:
+            raise ValueError("horizon and step must be positive")
+        n = max(1, int(horizon_s // step_s))
+        return sum(self.at(i * step_s) for i in range(n)) / n
+
+    def peak(self, horizon_s: float, step_s: float = 60.0) -> float:
+        """Maximum demand over [0, horizon) sampled every ``step_s``."""
+        n = max(1, int(horizon_s // step_s))
+        return max(self.at(i * step_s) for i in range(n))
+
+
+class FlatTrace(Trace):
+    """Constant demand."""
+
+    def __init__(self, level: float) -> None:
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must be in [0, 1]")
+        self.level = level
+
+    def at(self, t: float) -> float:
+        return self.level
+
+
+class StepTrace(Trace):
+    """Piecewise-constant demand defined by (start_time, level) breakpoints."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("need at least one step")
+        ordered = sorted(steps)
+        if ordered[0][0] > 0.0:
+            ordered.insert(0, (0.0, 0.0))
+        for _, level in ordered:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError("levels must be in [0, 1]")
+        self._times = [s[0] for s in ordered]
+        self._levels = [s[1] for s in ordered]
+
+    def at(self, t: float) -> float:
+        idx = np.searchsorted(self._times, t, side="right") - 1
+        return self._levels[max(idx, 0)]
+
+
+class DiurnalTrace(Trace):
+    """Day/night cycle: raised-cosine between ``low`` and ``high``.
+
+    ``peak_hour`` places the maximum; ``sharpness`` > 1 narrows the peak
+    (models business-hours plateaus when < 1, spiky midday peaks when > 1).
+    """
+
+    def __init__(
+        self,
+        low: float = 0.1,
+        high: float = 0.8,
+        period_s: float = DAY_S,
+        peak_hour: float = 14.0,
+        sharpness: float = 1.0,
+    ) -> None:
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError("need 0 <= low <= high <= 1")
+        if period_s <= 0 or sharpness <= 0:
+            raise ValueError("period_s and sharpness must be positive")
+        self.low = low
+        self.high = high
+        self.period_s = period_s
+        self.phase_s = peak_hour * 3600.0
+        self.sharpness = sharpness
+
+    def at(self, t: float) -> float:
+        angle = 2.0 * math.pi * (t - self.phase_s) / self.period_s
+        base = 0.5 * (1.0 + math.cos(angle))  # 1 at the peak, 0 at the trough
+        shaped = base ** self.sharpness
+        return self.low + (self.high - self.low) * shaped
+
+
+class SampledTrace(Trace):
+    """A trace backed by a pre-drawn sample grid.
+
+    Lookups are step-function reads; time beyond the grid wraps around
+    (tiling), which keeps long simulations well-defined.
+    """
+
+    def __init__(self, samples: Sequence[float], step_s: float = 60.0) -> None:
+        if len(samples) == 0:
+            raise ValueError("need at least one sample")
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        arr = np.asarray(samples, dtype=float)
+        if arr.min() < 0.0 or arr.max() > 1.0:
+            raise ValueError("samples must be within [0, 1]")
+        self._samples = arr
+        self.step_s = step_s
+
+    @property
+    def horizon_s(self) -> float:
+        return len(self._samples) * self.step_s
+
+    def at(self, t: float) -> float:
+        idx = int(t // self.step_s) % len(self._samples)
+        return float(self._samples[idx])
+
+
+class BurstyTrace(SampledTrace):
+    """Low baseline punctuated by sustained bursts.
+
+    Burst arrivals are Poisson with mean spacing ``mean_gap_s``; burst
+    lengths are exponential with mean ``mean_burst_s``.  This is the
+    workload that punishes slow wake-up: demand jumps by ``burst - base``
+    with no warning.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        base: float = 0.1,
+        burst: float = 0.85,
+        mean_gap_s: float = 2.0 * 3600,
+        mean_burst_s: float = 20.0 * 60,
+        horizon_s: float = 2 * DAY_S,
+        step_s: float = 60.0,
+    ) -> None:
+        if not 0.0 <= base <= burst <= 1.0:
+            raise ValueError("need 0 <= base <= burst <= 1")
+        rng = np.random.default_rng(seed)
+        n = int(horizon_s // step_s)
+        samples = np.full(n, base)
+        t = float(rng.exponential(mean_gap_s))
+        while t < horizon_s:
+            length = float(rng.exponential(mean_burst_s))
+            lo = int(t // step_s)
+            hi = min(n, int((t + length) // step_s) + 1)
+            samples[lo:hi] = burst
+            t += length + float(rng.exponential(mean_gap_s))
+        super().__init__(samples, step_s)
+        self.base = base
+        self.burst = burst
+
+
+class SpikeTrace(SampledTrace):
+    """Mostly idle with rare, short, tall spikes (batch / cron style)."""
+
+    def __init__(
+        self,
+        seed: int,
+        base: float = 0.05,
+        spike: float = 1.0,
+        spikes_per_day: float = 6.0,
+        spike_s: float = 300.0,
+        horizon_s: float = 2 * DAY_S,
+        step_s: float = 60.0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        n = int(horizon_s // step_s)
+        samples = np.full(n, base)
+        expected = spikes_per_day * horizon_s / DAY_S
+        count = int(rng.poisson(expected))
+        width = max(1, int(spike_s // step_s))
+        for start in rng.integers(0, max(1, n - width), size=count):
+            samples[start : start + width] = spike
+        super().__init__(np.clip(samples, 0.0, 1.0), step_s)
+
+
+class NoisyTrace(SampledTrace):
+    """Wraps another trace with bounded Gaussian noise (pre-sampled)."""
+
+    def __init__(
+        self,
+        inner: Trace,
+        seed: int,
+        sigma: float = 0.05,
+        horizon_s: float = 2 * DAY_S,
+        step_s: float = 60.0,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        rng = np.random.default_rng(seed)
+        n = int(horizon_s // step_s)
+        base = np.array([inner.at(i * step_s) for i in range(n)])
+        noisy = np.clip(base + rng.normal(0.0, sigma, size=n), 0.0, 1.0)
+        super().__init__(noisy, step_s)
+
+
+class PlateauTrace(Trace):
+    """Business-hours plateau: ramp up, hold ``high``, ramp down, idle.
+
+    A sharper model of interactive enterprise load than the raised cosine:
+    flat-out during working hours, near-idle at night, with linear ramps
+    of ``ramp_s`` on each side.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.1,
+        high: float = 0.8,
+        start_hour: float = 8.0,
+        end_hour: float = 18.0,
+        ramp_s: float = 3600.0,
+        period_s: float = DAY_S,
+    ) -> None:
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError("need 0 <= low <= high <= 1")
+        if not 0.0 <= start_hour < end_hour <= 24.0:
+            raise ValueError("need 0 <= start_hour < end_hour <= 24")
+        if ramp_s < 0 or period_s <= 0:
+            raise ValueError("ramp_s must be >= 0 and period_s positive")
+        if 2 * ramp_s > (end_hour - start_hour) * 3600.0:
+            raise ValueError("ramps overlap: plateau shorter than 2*ramp_s")
+        self.low = low
+        self.high = high
+        self.start_s = start_hour * 3600.0
+        self.end_s = end_hour * 3600.0
+        self.ramp_s = ramp_s
+        self.period_s = period_s
+
+    def at(self, t: float) -> float:
+        tod = t % self.period_s
+        if tod < self.start_s or tod >= self.end_s:
+            return self.low
+        if self.ramp_s > 0 and tod < self.start_s + self.ramp_s:
+            frac = (tod - self.start_s) / self.ramp_s
+            return self.low + (self.high - self.low) * frac
+        if self.ramp_s > 0 and tod >= self.end_s - self.ramp_s:
+            frac = (self.end_s - tod) / self.ramp_s
+            return self.low + (self.high - self.low) * frac
+        return self.high
+
+
+class WeeklyTrace(Trace):
+    """Weekday/weekend modulation of an inner trace.
+
+    Days 0–4 of each 7-day cycle use ``inner`` unchanged; days 5–6 scale
+    it by ``weekend_factor`` (floored at ``floor``), capturing the deeper
+    weekend troughs that make consolidation opportunities larger.
+    """
+
+    def __init__(
+        self,
+        inner: Trace,
+        weekend_factor: float = 0.35,
+        floor: float = 0.02,
+    ) -> None:
+        if not 0.0 <= weekend_factor <= 1.0:
+            raise ValueError("weekend_factor must be in [0, 1]")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError("floor must be in [0, 1]")
+        self.inner = inner
+        self.weekend_factor = weekend_factor
+        self.floor = floor
+
+    def at(self, t: float) -> float:
+        day = int(t // DAY_S) % 7
+        value = self.inner.at(t)
+        if day >= 5:
+            value = max(self.floor, value * self.weekend_factor)
+        return _clamp01(value)
+
+
+class CompositeTrace(Trace):
+    """Weighted sum of traces, clamped to [0, 1]."""
+
+    def __init__(self, parts: Sequence[Tuple[float, Trace]]) -> None:
+        if not parts:
+            raise ValueError("need at least one part")
+        for weight, _ in parts:
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+        self.parts = list(parts)
+
+    def at(self, t: float) -> float:
+        return _clamp01(sum(w * trace.at(t) for w, trace in self.parts))
+
+
+class ScaledTrace(Trace):
+    """``inner`` scaled by a factor and clamped to [0, 1]."""
+
+    def __init__(self, inner: Trace, factor: float) -> None:
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        self.inner = inner
+        self.factor = factor
+
+    def at(self, t: float) -> float:
+        return _clamp01(self.inner.at(t) * self.factor)

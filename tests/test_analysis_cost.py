@@ -1,0 +1,97 @@
+"""Unit tests for facility cost conversion."""
+
+import pytest
+
+from repro.analysis import FacilityModel, cost_summary, savings_summary
+from repro.telemetry import SimReport
+
+
+def make_report(energy_kwh, horizon_s=86_400.0, policy="p"):
+    return SimReport(
+        policy=policy,
+        horizon_s=horizon_s,
+        energy_kwh=energy_kwh,
+        mean_power_w=0.0,
+        peak_power_w=0.0,
+        mean_demand_cores=0.0,
+        mean_active_hosts=0.0,
+        violation_fraction=0.0,
+        violation_time_fraction=0.0,
+        migrations=0,
+        migrations_aborted=0,
+        migrations_per_hour=0.0,
+        migration_downtime_s=0.0,
+        park_transitions=0,
+        wake_transitions=0,
+        transitions_per_host_per_day=0.0,
+    )
+
+
+class TestFacilityModel:
+    def test_defaults_valid(self):
+        FacilityModel()
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FacilityModel(pue=0.9)
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            FacilityModel(usd_per_kwh=-0.1)
+
+
+class TestCostSummary:
+    def test_pue_scales_it_energy(self):
+        summary = cost_summary(make_report(100.0), FacilityModel(pue=2.0))
+        assert summary.it_kwh == 100.0
+        assert summary.facility_kwh == 200.0
+
+    def test_usd_and_carbon(self):
+        facility = FacilityModel(pue=1.5, usd_per_kwh=0.2, kg_co2_per_kwh=0.5)
+        summary = cost_summary(make_report(100.0), facility)
+        assert summary.usd == pytest.approx(30.0)
+        assert summary.kg_co2 == pytest.approx(75.0)
+
+    def test_mean_facility_kw(self):
+        summary = cost_summary(
+            make_report(24.0, horizon_s=86_400.0), FacilityModel(pue=1.0)
+        )
+        assert summary.mean_facility_kw == pytest.approx(1.0)
+
+    def test_annualized(self):
+        summary = cost_summary(
+            make_report(10.0, horizon_s=86_400.0), FacilityModel(pue=1.0)
+        )
+        assert summary.annualized_usd(86_400.0) == pytest.approx(summary.usd * 365.0)
+        with pytest.raises(ValueError):
+            summary.annualized_usd(0.0)
+
+
+class TestSavingsSummary:
+    def test_savings_math(self):
+        base = make_report(100.0, policy="AlwaysOn")
+        managed = make_report(50.0, policy="S3-PM")
+        facility = FacilityModel(pue=2.0, usd_per_kwh=0.1, kg_co2_per_kwh=1.0)
+        summary = savings_summary(base, managed, facility)
+        assert summary["baseline_usd"] == pytest.approx(20.0)
+        assert summary["managed_usd"] == pytest.approx(10.0)
+        assert summary["saved_usd"] == pytest.approx(10.0)
+        assert summary["saved_fraction"] == pytest.approx(0.5)
+        assert summary["saved_kg_co2"] == pytest.approx(100.0)
+        assert summary["saved_usd_per_year"] == pytest.approx(10.0 * 365.0)
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(ValueError):
+            savings_summary(
+                make_report(100.0, horizon_s=100.0),
+                make_report(50.0, horizon_s=200.0),
+            )
+
+    def test_end_to_end_with_real_runs(self):
+        from repro import always_on, run_scenario, s3_policy
+
+        base = run_scenario(always_on(), n_hosts=4, n_vms=12, horizon_s=6 * 3600, seed=1)
+        pm = run_scenario(s3_policy(), n_hosts=4, n_vms=12, horizon_s=6 * 3600, seed=1)
+        summary = savings_summary(base.report, pm.report)
+        assert summary["saved_usd"] > 0
+        assert 0.0 < summary["saved_fraction"] < 1.0

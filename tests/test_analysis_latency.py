@@ -1,0 +1,102 @@
+"""Unit tests for burst-recovery episode extraction."""
+
+import pytest
+
+from repro.analysis import RecoveryStats, extract_episodes, recovery_stats
+from repro.telemetry import TimeSeries
+
+
+def series(points):
+    ts = TimeSeries("shortfall_cores")
+    for t, v in points:
+        ts.append(t, v)
+    return ts
+
+
+class TestExtractEpisodes:
+    def test_empty_series(self):
+        assert extract_episodes(series([])) == []
+
+    def test_no_shortfall_no_episodes(self):
+        ts = series([(0, 0.0), (60, 0.0), (120, 0.0)])
+        assert extract_episodes(ts) == []
+
+    def test_single_episode(self):
+        ts = series([(0, 0.0), (60, 5.0), (120, 3.0), (180, 0.0), (240, 0.0)])
+        episodes = extract_episodes(ts)
+        assert len(episodes) == 1
+        ep = episodes[0]
+        assert ep.start_s == 60.0
+        assert ep.duration_s == 120.0
+        assert ep.peak_cores == 5.0
+        assert ep.deficit_core_s == pytest.approx(5.0 * 60 + 3.0 * 60)
+
+    def test_two_separate_episodes(self):
+        ts = series(
+            [(0, 2.0), (60, 0.0), (120, 0.0), (180, 4.0), (240, 0.0)]
+        )
+        episodes = extract_episodes(ts)
+        assert len(episodes) == 2
+        assert episodes[0].start_s == 0.0
+        assert episodes[1].start_s == 180.0
+
+    def test_episode_running_to_series_end(self):
+        ts = series([(0, 0.0), (60, 1.0), (120, 2.0)])
+        episodes = extract_episodes(ts)
+        assert len(episodes) == 1
+        assert episodes[0].duration_s == 60.0  # open-ended: to last sample
+
+    def test_threshold_filters_noise(self):
+        ts = series([(0, 0.05), (60, 0.05), (120, 5.0), (180, 0.0)])
+        episodes = extract_episodes(ts, threshold_cores=0.1)
+        assert len(episodes) == 1
+        assert episodes[0].start_s == 120.0
+
+
+class TestRecoveryStats:
+    def test_empty_stats(self):
+        assert RecoveryStats.empty().episodes == 0
+
+    def test_from_sampler_like(self):
+        class FakeSampler:
+            def __init__(self):
+                self.series = {
+                    "shortfall_cores": series(
+                        [(0, 0.0), (60, 3.0), (120, 0.0), (180, 6.0),
+                         (240, 6.0), (300, 0.0)]
+                    )
+                }
+
+        stats = recovery_stats(FakeSampler())
+        assert stats.episodes == 2
+        assert stats.mean_duration_s == pytest.approx((60 + 120) / 2)
+        assert stats.max_duration_s == 120.0
+        assert stats.total_deficit_core_s == pytest.approx(3 * 60 + 6 * 120)
+
+    def test_end_to_end_latency_effect(self):
+        # Slow wake-up must produce longer recovery episodes.
+        from repro import run_scenario, s3_policy
+        from repro.prototype import make_prototype_blade_profile
+        from repro.workload import FleetSpec
+
+        spec = FleetSpec(
+            n_vms=24,
+            archetype_weights={"bursty": 1.0},
+            shared_fraction=0.7,
+            horizon_s=24 * 3600.0,
+        )
+        stats = {}
+        for latency in (10.0, 600.0):
+            run = run_scenario(
+                s3_policy(),
+                n_hosts=8,
+                horizon_s=24 * 3600.0,
+                seed=23,
+                fleet_spec=spec,
+                profile=make_prototype_blade_profile(resume_latency_s=latency),
+            )
+            stats[latency] = recovery_stats(run.sampler)
+        if stats[10.0].episodes and stats[600.0].episodes:
+            assert (
+                stats[600.0].mean_duration_s >= stats[10.0].mean_duration_s
+            )

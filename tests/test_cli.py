@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "S3-PM"
+        assert args.hosts == 16
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "Bogus"])
+
+    def test_compare_accepts_policy_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--policies", "AlwaysOn,S3-PM"]
+        )
+        assert args.policies == "AlwaysOn,S3-PM"
+
+
+class TestCommands:
+    def test_characterize_prints_table(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "sleep" in out
+        assert "brkeven" in out
+        assert "normalized energy vs idle gap" in out
+
+    def test_policies_lists_presets(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("AlwaysOn", "S3-PM", "S5-PM", "Hybrid", "DVFS-only"):
+            assert name in out
+
+    def test_run_small_scenario(self, capsys):
+        code = main(
+            ["run", "--policy", "S3-PM", "--hosts", "4", "--vms", "12",
+             "--hours", "2", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "S3-PM" in out
+        assert "kWh" in out
+
+    def test_run_with_timeline(self, capsys):
+        main(
+            ["run", "--hosts", "4", "--vms", "8", "--hours", "1", "--timeline"]
+        )
+        out = capsys.readouterr().out
+        assert "demand_cores" in out
+        assert "power_w" in out
+
+    def test_run_with_wake_latency_override(self, capsys):
+        code = main(
+            ["run", "--hosts", "4", "--vms", "8", "--hours", "1",
+             "--wake-latency", "60"]
+        )
+        assert code == 0
+
+    def test_run_with_fault_injection(self, capsys):
+        code = main(
+            ["run", "--hosts", "4", "--vms", "8", "--hours", "2",
+             "--wake-failure-rate", "0.2"]
+        )
+        assert code == 0
+
+    def test_compare_prints_normalized_table(self, capsys):
+        code = main(
+            ["compare", "--policies", "AlwaysOn,S3-PM", "--hosts", "4",
+             "--vms", "12", "--hours", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized to AlwaysOn" in out
+        assert "S3-PM" in out
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        import json as json_mod
+
+        code = main(
+            ["run", "--hosts", "4", "--vms", "8", "--hours", "1", "--json"]
+        )
+        assert code == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["policy"] == "S3-PM"
+        assert payload["energy_kwh"] > 0
+        assert "extra.reactive_wakes" in payload
+
+    def test_compare_json_is_list(self, capsys):
+        import json as json_mod
+
+        main(
+            ["compare", "--policies", "AlwaysOn,S3-PM", "--hosts", "4",
+             "--vms", "8", "--hours", "1", "--json"]
+        )
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert [p["policy"] for p in payload] == ["AlwaysOn", "S3-PM"]

@@ -1,0 +1,94 @@
+"""Unit tests for ManagerConfig and the policy presets."""
+
+import pytest
+
+from repro.core import ManagerConfig, policy_by_name
+from repro.core.policies import (
+    POLICIES,
+    always_on,
+    hybrid_policy,
+    s3_policy,
+    s5_policy,
+    standard_comparison,
+)
+from repro.power import PowerState
+
+
+class TestManagerConfig:
+    def test_defaults_valid(self):
+        ManagerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period_s": 0},
+            {"watchdog_period_s": -1},
+            {"headroom": -0.1},
+            {"cpu_target": 0.0},
+            {"cpu_target": 1.5},
+            {"park_delay_rounds": -1},
+            {"max_parks_per_round": 0},
+            {"wake_boost_hosts": -1},
+            {"min_active_hosts": 0},
+            {"warm_pool_hosts": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ManagerConfig(**kwargs)
+
+    def test_park_state_must_be_parked(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(park_state=PowerState.ACTIVE)
+
+    def test_deep_park_state_must_be_parked(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(deep_park_state=PowerState.ACTIVE)
+
+    def test_with_overrides_copies(self):
+        base = ManagerConfig(headroom=0.1)
+        derived = base.with_overrides(headroom=0.3, name="derived")
+        assert base.headroom == 0.1
+        assert derived.headroom == 0.3
+        assert derived.name == "derived"
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            ManagerConfig().with_overrides(headroom=-1.0)
+
+
+class TestPolicyPresets:
+    def test_always_on_disables_power_mgmt(self):
+        assert not always_on().enable_power_mgmt
+
+    def test_s3_uses_sleep(self):
+        cfg = s3_policy()
+        assert cfg.park_state is PowerState.SLEEP
+        assert cfg.enable_power_mgmt
+
+    def test_s5_uses_off_and_is_conservative(self):
+        s3, s5 = s3_policy(), s5_policy()
+        assert s5.park_state is PowerState.OFF
+        assert s5.park_delay_rounds > s3.park_delay_rounds
+        assert s5.headroom > s3.headroom
+
+    def test_hybrid_has_deep_state(self):
+        cfg = hybrid_policy()
+        assert cfg.park_state is PowerState.SLEEP
+        assert cfg.deep_park_state is PowerState.OFF
+
+    def test_policy_by_name_round_trip(self):
+        for name in POLICIES:
+            assert policy_by_name(name).name == name
+
+    def test_policy_by_name_unknown(self):
+        with pytest.raises(ValueError):
+            policy_by_name("Nonexistent")
+
+    def test_standard_comparison_has_baseline_first(self):
+        configs = standard_comparison()
+        assert configs[0].name == "AlwaysOn"
+        assert len(configs) == 4
+
+    def test_presets_return_fresh_instances(self):
+        assert s3_policy() is not s3_policy()

@@ -1,0 +1,171 @@
+"""Unit tests for demand predictors."""
+
+import pytest
+
+from repro.core import (
+    EwmaPredictor,
+    PeakWindowPredictor,
+    ReactivePredictor,
+    make_predictor,
+)
+
+
+class TestReactivePredictor:
+    def test_predicts_last_observation(self):
+        p = ReactivePredictor()
+        p.observe(0.0, 10.0)
+        p.observe(60.0, 25.0)
+        assert p.predict() == 25.0
+
+    def test_initial_prediction_zero(self):
+        assert ReactivePredictor().predict() == 0.0
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ReactivePredictor().observe(0.0, -1.0)
+
+
+class TestEwmaPredictor:
+    def test_first_observation_taken_verbatim(self):
+        p = EwmaPredictor(alpha=0.5)
+        p.observe(0.0, 40.0)
+        assert p.predict() == pytest.approx(40.0)
+
+    def test_smooths_toward_new_values(self):
+        p = EwmaPredictor(alpha=0.5, trend_gain=0.0)
+        p.observe(0.0, 0.0)
+        p.observe(60.0, 100.0)
+        assert p.predict() == pytest.approx(50.0)
+
+    def test_rising_trend_extrapolated(self):
+        p = EwmaPredictor(alpha=0.5, trend_gain=1.0)
+        p.observe(0.0, 10.0)
+        p.observe(60.0, 30.0)
+        # ewma=20, prev=10, trend=+10 → predict 30
+        assert p.predict() == pytest.approx(30.0)
+
+    def test_falling_trend_not_extrapolated(self):
+        p = EwmaPredictor(alpha=0.5, trend_gain=1.0)
+        p.observe(0.0, 100.0)
+        p.observe(60.0, 0.0)
+        # ewma=50, trend=-50 — prediction stays at the ewma, not 0.
+        assert p.predict() == pytest.approx(50.0)
+
+    def test_never_negative(self):
+        p = EwmaPredictor(alpha=1.0)
+        p.observe(0.0, 0.0)
+        assert p.predict() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=1.5)
+        with pytest.raises(ValueError):
+            EwmaPredictor(trend_gain=-1.0)
+
+
+class TestPeakWindowPredictor:
+    def test_tracks_window_peak(self):
+        p = PeakWindowPredictor(window_s=600.0)
+        p.observe(0.0, 10.0)
+        p.observe(100.0, 50.0)
+        p.observe(200.0, 20.0)
+        assert p.predict() == 50.0
+
+    def test_old_peaks_expire(self):
+        p = PeakWindowPredictor(window_s=300.0)
+        p.observe(0.0, 99.0)
+        p.observe(400.0, 10.0)
+        assert p.predict() == 10.0
+
+    def test_empty_predicts_zero(self):
+        assert PeakWindowPredictor().predict() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeakWindowPredictor(window_s=0)
+        p = PeakWindowPredictor()
+        with pytest.raises(ValueError):
+            p.observe(0.0, -5.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("reactive", ReactivePredictor),
+            ("ewma", EwmaPredictor),
+            ("peak", PeakWindowPredictor),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_predictor(name), cls)
+
+    def test_kwargs_forwarded(self):
+        p = make_predictor("ewma", alpha=0.9)
+        assert p.alpha == 0.9
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("crystal-ball")
+
+
+class TestHistoryPredictor:
+    def test_cold_start_falls_back_to_last(self):
+        from repro.core import HistoryPredictor
+
+        p = HistoryPredictor(slots=24)
+        p.observe(0.0, 12.0)
+        assert p.predict() == 12.0
+
+    def test_learns_time_of_day_pattern(self):
+        from repro.core import HistoryPredictor
+
+        p = HistoryPredictor(slots=24, period_s=86_400.0)
+        # Day 1: demand spikes at hour 10.
+        for hour in range(24):
+            demand = 50.0 if hour == 10 else 5.0
+            p.observe(hour * 3600.0, demand)
+        # Day 2, hour 9: prediction should anticipate the hour-10 spike.
+        p.observe(86_400.0 + 9 * 3600.0, 5.0)
+        assert p.predict() == pytest.approx(50.0)
+
+    def test_never_below_last_observation(self):
+        from repro.core import HistoryPredictor
+
+        p = HistoryPredictor(slots=24)
+        for hour in range(24):
+            p.observe(hour * 3600.0, 5.0)
+        p.observe(86_400.0, 80.0)  # sudden surge beyond history
+        assert p.predict() >= 80.0
+
+    def test_history_smoothing_across_days(self):
+        from repro.core import HistoryPredictor
+
+        p = HistoryPredictor(slots=24, alpha=0.5)
+        for day in range(2):
+            for hour in range(24):
+                demand = 40.0 if hour == 10 else 4.0
+                p.observe(day * 86_400.0 + hour * 3600.0, demand)
+        # hour-10 history converged near 40 regardless of day count.
+        p.observe(2 * 86_400.0 + 9 * 3600.0, 4.0)
+        assert p.predict() == pytest.approx(40.0, rel=0.05)
+
+    def test_validation(self):
+        from repro.core import HistoryPredictor
+
+        with pytest.raises(ValueError):
+            HistoryPredictor(slots=0)
+        with pytest.raises(ValueError):
+            HistoryPredictor(period_s=0)
+        with pytest.raises(ValueError):
+            HistoryPredictor(alpha=0)
+        p = HistoryPredictor()
+        with pytest.raises(ValueError):
+            p.observe(0.0, -1.0)
+
+    def test_factory_knows_history(self):
+        from repro.core import HistoryPredictor
+
+        assert isinstance(make_predictor("history", slots=12), HistoryPredictor)

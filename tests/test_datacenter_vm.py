@@ -1,0 +1,48 @@
+"""Unit tests for the VM model."""
+
+import pytest
+
+from repro.datacenter import VM
+from repro.workload import FlatTrace, StepTrace
+
+
+class TestVM:
+    def test_demand_scales_with_vcpus(self):
+        vm = VM("vm-a", vcpus=4, mem_gb=16, trace=FlatTrace(0.5))
+        assert vm.demand_cores(0.0) == pytest.approx(2.0)
+
+    def test_demand_follows_trace_over_time(self):
+        trace = StepTrace([(0.0, 0.2), (100.0, 0.8)])
+        vm = VM("vm-a", vcpus=2, mem_gb=8, trace=trace)
+        assert vm.demand_cores(50.0) == pytest.approx(0.4)
+        assert vm.demand_cores(150.0) == pytest.approx(1.6)
+
+    def test_demand_clamped_to_vcpus(self):
+        class OverTrace:
+            def at(self, t):
+                return 1.7
+
+        vm = VM("vm-a", vcpus=2, mem_gb=8, trace=OverTrace())
+        assert vm.demand_cores(0.0) == pytest.approx(2.0)
+
+    def test_negative_trace_rejected(self):
+        class BadTrace:
+            def at(self, t):
+                return -0.1
+
+        vm = VM("vm-a", vcpus=2, mem_gb=8, trace=BadTrace())
+        with pytest.raises(ValueError):
+            vm.demand_cores(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VM("bad", vcpus=0, mem_gb=8, trace=FlatTrace(0.5))
+        with pytest.raises(ValueError):
+            VM("bad", vcpus=2, mem_gb=0, trace=FlatTrace(0.5))
+
+    def test_starts_unplaced(self):
+        vm = VM("vm-a", vcpus=1, mem_gb=4, trace=FlatTrace(0.1))
+        assert not vm.placed
+        assert vm.host is None
+        assert not vm.migrating
+        assert vm.migration_count == 0

@@ -1,0 +1,102 @@
+"""Tests for mixed-generation clusters and efficiency-aware parking."""
+
+import pytest
+
+from repro.core import ManagerConfig, PowerAwareManager
+from repro.datacenter import Cluster, VM
+from repro.migration import MigrationEngine
+from repro.power import PowerState
+from repro.prototype import make_prototype_blade_profile
+from repro.sim import Environment
+from repro.workload import FlatTrace
+
+#: An older, less efficient server generation: higher idle and peak.
+OLD_GEN = make_prototype_blade_profile(idle_w=230.0, peak_w=400.0)
+NEW_GEN = make_prototype_blade_profile(idle_w=120.0, peak_w=300.0)
+
+
+def build_mixed(env, old=2, new=2, cores=16.0):
+    return Cluster.heterogeneous(
+        env,
+        [
+            {"count": old, "profile": OLD_GEN, "cores": cores, "mem_gb": 128.0},
+            {"count": new, "profile": NEW_GEN, "cores": cores, "mem_gb": 128.0},
+        ],
+    )
+
+
+class TestHeterogeneousCluster:
+    def test_builder_names_and_counts(self):
+        env = Environment()
+        cluster = build_mixed(env, old=2, new=3)
+        names = [h.name for h in cluster.hosts]
+        assert names == ["gen0-000", "gen0-001", "gen1-000", "gen1-001", "gen1-002"]
+
+    def test_builder_applies_profiles(self):
+        env = Environment()
+        cluster = build_mixed(env)
+        assert cluster.hosts[0].profile.idle_w == 230.0
+        assert cluster.hosts[-1].profile.idle_w == 120.0
+
+    def test_invalid_count_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Cluster.heterogeneous(env, [{"count": 0, "profile": OLD_GEN}])
+
+    def test_mixed_cores_supported(self):
+        env = Environment()
+        cluster = Cluster.heterogeneous(
+            env,
+            [
+                {"count": 1, "profile": OLD_GEN, "cores": 8.0, "mem_gb": 64.0},
+                {"count": 1, "profile": NEW_GEN, "cores": 32.0, "mem_gb": 256.0},
+            ],
+        )
+        assert cluster.total_capacity_cores() == 40.0
+
+    def test_power_sums_mixed_idle(self):
+        env = Environment()
+        cluster = build_mixed(env, old=1, new=1)
+        assert cluster.power_w() == pytest.approx(230.0 + 120.0)
+
+
+class TestEfficiencyAwareParking:
+    def run_manager(self, preference, horizon=3 * 3600):
+        env = Environment()
+        cluster = build_mixed(env, old=2, new=2)
+        engine = MigrationEngine(env)
+        cfg = ManagerConfig(
+            period_s=300,
+            park_delay_rounds=0,
+            min_active_hosts=1,
+            park_preference=preference,
+        )
+        manager = PowerAwareManager(env, cluster, engine, cfg)
+        # One small VM pinned by memory nowhere special; all hosts idle.
+        cluster.add_vm(
+            VM("only", vcpus=2, mem_gb=8, trace=FlatTrace(0.3)), cluster.hosts[3]
+        )
+        manager.start()
+        env.run(until=horizon)
+        return cluster
+
+    def test_efficiency_preference_parks_old_generation_first(self):
+        cluster = self.run_manager("efficiency")
+        parked = {h.name for h in cluster.parked_hosts()}
+        # Both old-generation hosts must be among the parked set.
+        assert {"gen0-000", "gen0-001"} <= parked
+
+    def test_load_preference_is_default_and_valid(self):
+        cluster = self.run_manager("load")
+        assert len(cluster.parked_hosts()) >= 2
+
+    def test_invalid_preference_rejected(self):
+        with pytest.raises(ValueError):
+            ManagerConfig(park_preference="random")
+
+    def test_efficiency_preference_saves_energy_on_mixed_cluster(self):
+        def total_energy(preference):
+            cluster = self.run_manager(preference, horizon=6 * 3600)
+            return cluster.energy_j()
+
+        assert total_energy("efficiency") <= total_energy("load") * 1.001

@@ -1,0 +1,105 @@
+"""Tests for per-transition latency jitter."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter import Host
+from repro.power import HostPowerStateMachine, PowerState, TransitionSpec
+from repro.prototype import make_prototype_blade_profile
+from repro.sim import Environment
+
+
+class TestTransitionSpecJitter:
+    def test_default_no_jitter(self):
+        spec = TransitionSpec(latency_s=10.0, power_w=100.0)
+        assert spec.sample_latency_s(np.random.default_rng(0)) == 10.0
+
+    def test_no_rng_means_nominal(self):
+        spec = TransitionSpec(latency_s=10.0, power_w=100.0, jitter_s=5.0)
+        assert spec.sample_latency_s(None) == 10.0
+
+    def test_samples_within_bounds(self):
+        spec = TransitionSpec(latency_s=10.0, power_w=100.0, jitter_s=4.0)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            latency = spec.sample_latency_s(rng)
+            assert 6.0 <= latency <= 14.0
+
+    def test_samples_actually_vary(self):
+        spec = TransitionSpec(latency_s=10.0, power_w=100.0, jitter_s=4.0)
+        rng = np.random.default_rng(2)
+        draws = {round(spec.sample_latency_s(rng), 6) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            TransitionSpec(latency_s=10.0, power_w=100.0, jitter_s=-1.0)
+        with pytest.raises(ValueError):
+            TransitionSpec(latency_s=10.0, power_w=100.0, jitter_s=11.0)
+
+
+class TestProfileJitterFactory:
+    def test_jitter_fraction_applied(self):
+        profile = make_prototype_blade_profile(latency_jitter=0.3)
+        spec = profile.transition(PowerState.SLEEP, PowerState.ACTIVE)
+        assert spec.jitter_s == pytest.approx(spec.latency_s * 0.3)
+
+    def test_zero_jitter_default(self):
+        profile = make_prototype_blade_profile()
+        for spec in profile.transitions.values():
+            assert spec.jitter_s == 0.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_prototype_blade_profile(latency_jitter=1.5)
+
+
+class TestJitteredMachine:
+    def test_transition_time_varies_per_run(self):
+        profile = make_prototype_blade_profile(latency_jitter=0.4)
+
+        def one_transition(seed):
+            env = Environment()
+            machine = HostPowerStateMachine(
+                env, profile, latency_rng=np.random.default_rng(seed)
+            )
+            proc = env.process(machine.transition_to(PowerState.SLEEP))
+            env.run(until=proc)
+            return env.now
+
+        times = {one_transition(seed) for seed in range(8)}
+        assert len(times) > 1
+        nominal = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        for t in times:
+            assert (
+                nominal.latency_s - nominal.jitter_s
+                <= t
+                <= nominal.latency_s + nominal.jitter_s
+            )
+
+    def test_host_jitter_deterministic_per_seed(self):
+        profile = make_prototype_blade_profile(latency_jitter=0.4)
+
+        def run_once():
+            env = Environment()
+            host = Host(env, "h0", profile, fault_seed=9)
+            proc = env.process(host.park(PowerState.SLEEP))
+            env.run(until=proc)
+            return env.now
+
+        assert run_once() == run_once()
+
+    def test_hosts_jitter_independently(self):
+        # Independent per-host draws: at least two distinct suspend
+        # durations among four hosts is overwhelmingly likely for a 40 %
+        # jitter band.
+        profile = make_prototype_blade_profile(latency_jitter=0.4)
+        env = Environment()
+        durations = set()
+        for name in ("h0", "h1", "h2", "h3"):
+            host = Host(env, name, profile)
+            start = env.now
+            proc = env.process(host.park(PowerState.SLEEP))
+            env.run(until=proc)
+            durations.add(env.now - start)
+        assert len(durations) > 1

@@ -1,0 +1,184 @@
+"""Unit tests for the migration engine."""
+
+import pytest
+
+from repro.datacenter import Cluster, VM
+from repro.migration import MigrationEngine, PreCopyModel
+from repro.power import PowerState
+from repro.prototype import PROTOTYPE_BLADE
+from repro.sim import Environment
+from repro.workload import FlatTrace
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster.homogeneous(env, PROTOTYPE_BLADE, 3, cores=16.0, mem_gb=64.0)
+
+
+@pytest.fixture
+def engine(env):
+    return MigrationEngine(env, model=PreCopyModel(bandwidth_gbps=1.0))
+
+
+def make_vm(name="vm", vcpus=2, mem_gb=8, level=0.5):
+    return VM(name, vcpus=vcpus, mem_gb=mem_gb, trace=FlatTrace(level))
+
+
+class TestMigrationExecution:
+    def test_vm_moves_after_migration(self, env, cluster, engine):
+        vm = make_vm()
+        src, dst = cluster.hosts[0], cluster.hosts[1]
+        cluster.add_vm(vm, src)
+        proc = engine.migrate(vm, dst)
+        record = env.run(until=proc)
+        assert vm.host is dst
+        assert not record.aborted
+        assert vm.migration_count == 1
+        assert engine.completed == 1
+
+    def test_migration_takes_model_time(self, env, cluster, engine):
+        vm = make_vm(mem_gb=8)
+        cluster.add_vm(vm, cluster.hosts[0])
+        expected = engine.model.migration_time_s(8.0, vm.dirty_rate_gbps)
+        proc = engine.migrate(vm, cluster.hosts[1])
+        env.run(until=proc)
+        assert env.now == pytest.approx(expected)
+
+    def test_cpu_tax_during_flight(self, env, cluster, engine):
+        vm = make_vm()
+        src, dst = cluster.hosts[0], cluster.hosts[1]
+        cluster.add_vm(vm, src)
+        engine.migrate(vm, dst)
+        env.run(until=1.0)
+        assert src.migration_tax_cores == pytest.approx(engine.model.cpu_tax_cores)
+        assert dst.migration_tax_cores == pytest.approx(engine.model.cpu_tax_cores)
+        env.run()
+        assert src.migration_tax_cores == 0.0
+        assert dst.migration_tax_cores == 0.0
+
+    def test_memory_reserved_during_flight(self, env, cluster, engine):
+        vm = make_vm(mem_gb=20)
+        src, dst = cluster.hosts[0], cluster.hosts[1]
+        cluster.add_vm(vm, src)
+        engine.migrate(vm, dst)
+        assert dst.mem_reserved_gb == pytest.approx(20.0)
+        env.run()
+        assert dst.mem_reserved_gb == 0.0
+        assert dst.mem_used_gb == pytest.approx(20.0)
+
+    def test_migrating_flag_set_and_cleared(self, env, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        engine.migrate(vm, cluster.hosts[1])
+        assert vm.migrating
+        env.run()
+        assert not vm.migrating
+
+    def test_record_contents(self, env, cluster, engine):
+        vm = make_vm(name="tracked")
+        cluster.add_vm(vm, cluster.hosts[0])
+        proc = engine.migrate(vm, cluster.hosts[2])
+        record = env.run(until=proc)
+        assert record.vm_name == "tracked"
+        assert record.src_name == "host-000"
+        assert record.dst_name == "host-002"
+        assert record.duration_s > 0
+        assert record.downtime_s >= 0
+        assert record.transferred_gb >= vm.mem_gb
+
+
+class TestAdmissionChecks:
+    def test_unplaced_vm_rejected(self, cluster, engine):
+        with pytest.raises(RuntimeError, match="unplaced"):
+            engine.migrate(make_vm(), cluster.hosts[0])
+
+    def test_same_host_rejected(self, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        with pytest.raises(ValueError):
+            engine.migrate(vm, cluster.hosts[0])
+
+    def test_double_migration_rejected(self, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        engine.migrate(vm, cluster.hosts[1])
+        with pytest.raises(RuntimeError, match="already migrating"):
+            engine.migrate(vm, cluster.hosts[2])
+
+    def test_parked_destination_rejected(self, env, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        env.process(cluster.hosts[1].park(PowerState.SLEEP))
+        env.run()
+        with pytest.raises(RuntimeError, match="not active"):
+            engine.migrate(vm, cluster.hosts[1])
+
+    def test_full_destination_rejected(self, env, cluster, engine):
+        filler = make_vm("filler", mem_gb=60)
+        cluster.add_vm(filler, cluster.hosts[1])
+        vm = make_vm("mover", mem_gb=8)
+        cluster.add_vm(vm, cluster.hosts[0])
+        with pytest.raises(RuntimeError, match="lacks memory"):
+            engine.migrate(vm, cluster.hosts[1])
+
+
+class TestConcurrencyCaps:
+    def test_cluster_wide_cap_serializes(self, env, cluster):
+        engine = MigrationEngine(
+            env, model=PreCopyModel(bandwidth_gbps=1.0), max_concurrent=1
+        )
+        vms = [make_vm("vm-{}".format(i), mem_gb=8) for i in range(2)]
+        for vm in vms:
+            cluster.add_vm(vm, cluster.hosts[0])
+        one_time = engine.model.migration_time_s(8.0, vms[0].dirty_rate_gbps)
+        procs = [engine.migrate(vm, cluster.hosts[1]) for vm in vms]
+        env.run(until=procs[-1])
+        assert env.now == pytest.approx(2 * one_time, rel=0.01)
+
+    def test_parallel_when_capacity_allows(self, env, cluster):
+        engine = MigrationEngine(
+            env,
+            model=PreCopyModel(bandwidth_gbps=1.0),
+            max_concurrent=4,
+            max_per_host=4,
+        )
+        vms = [make_vm("vm-{}".format(i), mem_gb=8) for i in range(2)]
+        for vm in vms:
+            cluster.add_vm(vm, cluster.hosts[0])
+        one_time = engine.model.migration_time_s(8.0, vms[0].dirty_rate_gbps)
+        procs = [engine.migrate(vm, cluster.hosts[1]) for vm in vms]
+        env.run(until=procs[-1])
+        assert env.now == pytest.approx(one_time, rel=0.01)
+
+
+class TestAborts:
+    def test_vm_departure_aborts(self, env, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        proc = engine.migrate(vm, cluster.hosts[1])
+
+        def depart(env):
+            yield env.timeout(1.0)
+            cluster.remove_vm(vm)
+
+        env.process(depart(env))
+        record = env.run(until=proc)
+        assert record.aborted
+        assert engine.aborted == 1
+        assert engine.completed == 0
+        assert vm.host is None
+        assert cluster.hosts[1].mem_reserved_gb == 0.0
+
+    def test_ledger_queries(self, env, cluster, engine):
+        vm = make_vm()
+        cluster.add_vm(vm, cluster.hosts[0])
+        proc = engine.migrate(vm, cluster.hosts[1])
+        env.run(until=proc)
+        assert engine.migrations_per_hour(3600.0) == pytest.approx(1.0)
+        assert engine.total_transferred_gb() >= vm.mem_gb
+        assert engine.total_migration_time_s() > 0

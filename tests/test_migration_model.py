@@ -1,0 +1,76 @@
+"""Unit tests for the pre-copy migration model."""
+
+import pytest
+
+from repro.migration import PreCopyModel
+
+
+@pytest.fixture
+def model():
+    return PreCopyModel(bandwidth_gbps=1.0, stop_copy_threshold_gb=0.0625)
+
+
+class TestPreCopySolve:
+    def test_zero_dirty_rate_single_pass(self, model):
+        outcome = model.solve(mem_gb=8.0, dirty_rate_gbps=0.0)
+        # One full copy, then a residual of ~0 dirtied during it.
+        assert outcome.total_time_s == pytest.approx(8.0, rel=0.05)
+        assert outcome.downtime_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_total_time_increases_with_memory(self, model):
+        small = model.solve(4.0, 0.1)
+        large = model.solve(16.0, 0.1)
+        assert large.total_time_s > small.total_time_s
+
+    def test_total_time_increases_with_dirty_rate(self, model):
+        calm = model.solve(8.0, 0.05)
+        busy = model.solve(8.0, 0.5)
+        assert busy.total_time_s > calm.total_time_s
+
+    def test_downtime_below_threshold_transfer_time(self, model):
+        outcome = model.solve(8.0, 0.2)
+        assert outcome.downtime_s <= model.stop_copy_threshold_gb / model.bandwidth_gbps * (
+            1 + 1e-9
+        )
+
+    def test_downtime_much_smaller_than_total(self, model):
+        outcome = model.solve(8.0, 0.2)
+        assert outcome.downtime_s < 0.1 * outcome.total_time_s
+
+    def test_transferred_at_least_memory_size(self, model):
+        outcome = model.solve(8.0, 0.3)
+        assert outcome.transferred_gb >= 8.0
+
+    def test_geometric_series_closed_form(self, model):
+        # With ratio r, transfer ~ M * (1 + r + r^2 + ...) until threshold.
+        outcome = model.solve(8.0, 0.5)  # r = 0.5
+        assert outcome.transferred_gb == pytest.approx(16.0, rel=0.05)
+
+    def test_max_rounds_caps_nonconverging(self):
+        model = PreCopyModel(bandwidth_gbps=1.0, max_rounds=5)
+        outcome = model.solve(8.0, dirty_rate_gbps=1.0)  # ratio clamped 0.99
+        assert outcome.rounds <= 6  # 5 iterative + final stop-and-copy
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.solve(0.0, 0.1)
+        with pytest.raises(ValueError):
+            model.solve(8.0, -0.1)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            PreCopyModel(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            PreCopyModel(stop_copy_threshold_gb=0)
+        with pytest.raises(ValueError):
+            PreCopyModel(max_rounds=0)
+        with pytest.raises(ValueError):
+            PreCopyModel(slowdown=1.5)
+
+    def test_migration_time_helper(self, model):
+        assert model.migration_time_s(8.0, 0.1) == model.solve(8.0, 0.1).total_time_s
+
+    def test_faster_bandwidth_shortens_migration(self):
+        slow = PreCopyModel(bandwidth_gbps=0.5)
+        fast = PreCopyModel(bandwidth_gbps=2.0)
+        assert fast.migration_time_s(8.0, 0.1) < slow.migration_time_s(8.0, 0.1)

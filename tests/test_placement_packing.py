@@ -1,0 +1,181 @@
+"""Unit tests for bin-packing planners."""
+
+import pytest
+
+from repro.datacenter import Cluster, VM
+from repro.placement import (
+    PackingError,
+    best_fit_decreasing,
+    first_fit_decreasing,
+    pack_onto_minimal_hosts,
+)
+from repro.prototype import PROTOTYPE_BLADE
+from repro.sim import Environment
+from repro.workload import FlatTrace
+
+
+@pytest.fixture
+def hosts():
+    env = Environment()
+    return Cluster.homogeneous(env, PROTOTYPE_BLADE, 4, cores=16.0, mem_gb=64.0).hosts
+
+
+def make_vms(count, vcpus=4, mem_gb=8, level=0.5):
+    return [
+        VM("vm-{}".format(i), vcpus=vcpus, mem_gb=mem_gb, trace=FlatTrace(level))
+        for i in range(count)
+    ]
+
+
+class TestFirstFitDecreasing:
+    def test_all_vms_placed(self, hosts):
+        vms = make_vms(8)
+        plan = first_fit_decreasing(vms, hosts)
+        assert set(plan) == set(vms)
+
+    def test_respects_cpu_target(self, hosts):
+        # 16 cores * 0.85 = 13.6 budget; 4-vcpu plans fit 3 per host.
+        vms = make_vms(12, vcpus=4)
+        plan = first_fit_decreasing(vms, hosts, cpu_target=0.85)
+        per_host = {}
+        for vm, host in plan.items():
+            per_host.setdefault(host.name, 0)
+            per_host[host.name] += vm.vcpus
+        assert all(v <= 13.6 + 1e-9 for v in per_host.values())
+
+    def test_respects_memory(self, hosts):
+        vms = make_vms(8, vcpus=1, mem_gb=30)
+        plan = first_fit_decreasing(vms, hosts, cpu_target=1.0)
+        per_host = {}
+        for vm, host in plan.items():
+            per_host.setdefault(host.name, 0.0)
+            per_host[host.name] += vm.mem_gb
+        assert all(v <= 64.0 + 1e-9 for v in per_host.values())
+
+    def test_overflow_raises_packing_error(self, hosts):
+        vms = make_vms(100, vcpus=8)
+        with pytest.raises(PackingError) as exc_info:
+            first_fit_decreasing(vms, hosts)
+        assert len(exc_info.value.unplaced) > 0
+
+    def test_accounts_existing_residents(self, hosts):
+        resident = make_vms(3, vcpus=4)[0]
+        hosts[0].place(resident)
+        vms = make_vms(3, vcpus=4)
+        plan = first_fit_decreasing(vms, hosts, cpu_target=0.85)
+        onto_first = [vm for vm, h in plan.items() if h is hosts[0]]
+        assert len(onto_first) <= 2  # 13.6 - 4 resident leaves room for 2
+
+    def test_invalid_cpu_target(self, hosts):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([], hosts, cpu_target=0.0)
+
+    def test_custom_demand_fn(self, hosts):
+        vms = make_vms(8, vcpus=8)
+        # With tiny planned demand everything fits on one host.
+        plan = first_fit_decreasing(vms, hosts, demand_fn=lambda vm: 0.1)
+        assert {h.name for h in plan.values()} == {hosts[0].name}
+
+
+class TestBestFitDecreasing:
+    def test_all_vms_placed(self, hosts):
+        vms = make_vms(8)
+        plan = best_fit_decreasing(vms, hosts)
+        assert set(plan) == set(vms)
+
+    def test_prefers_tightest_fit(self, hosts):
+        resident = VM("resident", vcpus=10, mem_gb=8, trace=FlatTrace(0.5))
+        hosts[2].place(resident)
+        vm = make_vms(1, vcpus=3)[0]
+        plan = best_fit_decreasing([vm], hosts, cpu_target=0.85)
+        # host-002 has budget 13.6-10=3.6, the tightest that still fits.
+        assert plan[vm] is hosts[2]
+
+    def test_consolidates_better_than_spread(self, hosts):
+        vms = make_vms(6, vcpus=4)
+        plan = best_fit_decreasing(vms, hosts, cpu_target=0.85)
+        used = {h.name for h in plan.values()}
+        assert len(used) == 2  # 3 per host => 2 hosts
+
+
+class TestPackOntoMinimalHosts:
+    def test_uses_fewest_hosts(self, hosts):
+        vms = make_vms(6, vcpus=4)  # needs exactly 2 hosts at 0.85
+        plan, spare = pack_onto_minimal_hosts(vms, hosts, cpu_target=0.85)
+        assert len(spare) == 2
+        assert {h.name for h in plan.values()} <= {hosts[0].name, hosts[1].name}
+
+    def test_spare_preserves_order(self, hosts):
+        vms = make_vms(3, vcpus=4)
+        _, spare = pack_onto_minimal_hosts(vms, hosts)
+        assert spare == hosts[1:]
+
+    def test_impossible_raises(self, hosts):
+        vms = make_vms(200, vcpus=8)
+        with pytest.raises(PackingError):
+            pack_onto_minimal_hosts(vms, hosts)
+
+    def test_empty_vm_list_uses_one_host_minimum(self, hosts):
+        plan, spare = pack_onto_minimal_hosts([], hosts)
+        assert plan == {}
+        assert len(spare) == 3
+
+
+class TestDotProductPacking:
+    def test_all_vms_placed(self, hosts):
+        from repro.placement import dot_product_packing
+
+        vms = make_vms(8)
+        plan = dot_product_packing(vms, hosts)
+        assert set(plan) == set(vms)
+
+    def test_respects_both_dimensions(self, hosts):
+        from repro.placement import dot_product_packing
+
+        vms = make_vms(6, vcpus=4, mem_gb=20)
+        plan = dot_product_packing(vms, hosts, cpu_target=0.85)
+        cpu, mem = {}, {}
+        for vm, host in plan.items():
+            cpu[host.name] = cpu.get(host.name, 0) + vm.vcpus
+            mem[host.name] = mem.get(host.name, 0) + vm.mem_gb
+        assert all(v <= 16.0 * 0.85 + 1e-9 for v in cpu.values())
+        assert all(v <= 64.0 + 1e-9 for v in mem.values())
+
+    def test_overflow_raises(self, hosts):
+        from repro.placement import dot_product_packing
+
+        with pytest.raises(PackingError):
+            dot_product_packing(make_vms(100, vcpus=8), hosts)
+
+    def test_handles_skewed_dimensions_better_than_ffd(self, hosts):
+        # Half the VMs are memory-heavy, half CPU-heavy; pairing them on
+        # the same host packs tighter than 1-D FFD by vCPU, which happily
+        # fills a host with memory hogs until memory blocks it.
+        from repro.datacenter import VM as _VM
+        from repro.placement import dot_product_packing
+        from repro.workload import FlatTrace as _Flat
+
+        vms = []
+        for i in range(4):
+            vms.append(_VM("cpu-{}".format(i), vcpus=8, mem_gb=4,
+                           trace=_Flat(0.5)))
+            vms.append(_VM("mem-{}".format(i), vcpus=1, mem_gb=48,
+                           trace=_Flat(0.5)))
+        plan = dot_product_packing(vms, hosts, cpu_target=0.85)
+        used_dot = len({h.name for h in plan.values()})
+        plan_ffd = first_fit_decreasing(vms, hosts, cpu_target=0.85)
+        used_ffd = len({h.name for h in plan_ffd.values()})
+        assert used_dot <= used_ffd
+
+    def test_invalid_target(self, hosts):
+        from repro.placement import dot_product_packing
+
+        with pytest.raises(ValueError):
+            dot_product_packing([], hosts, cpu_target=0.0)
+
+    def test_opens_hosts_lazily(self, hosts):
+        from repro.placement import dot_product_packing
+
+        vms = make_vms(2, vcpus=2)
+        plan = dot_product_packing(vms, hosts)
+        assert {h.name for h in plan.values()} == {hosts[0].name}

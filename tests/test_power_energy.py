@@ -1,0 +1,63 @@
+"""Unit tests for the energy meter."""
+
+import pytest
+
+from repro.power import EnergyMeter
+
+
+class TestEnergyMeter:
+    def test_constant_power_integration(self):
+        meter = EnergyMeter(now=0.0, power_w=100.0)
+        assert meter.energy_j(10.0) == pytest.approx(1000.0)
+
+    def test_piecewise_integration(self):
+        meter = EnergyMeter(now=0.0, power_w=100.0)
+        meter.set_power(5.0, 200.0)
+        assert meter.energy_j(10.0) == pytest.approx(100 * 5 + 200 * 5)
+
+    def test_kwh_conversion(self):
+        meter = EnergyMeter(now=0.0, power_w=1000.0)
+        assert meter.energy_kwh(3600.0) == pytest.approx(1.0)
+
+    def test_repeated_reads_stable(self):
+        meter = EnergyMeter(now=0.0, power_w=50.0)
+        assert meter.energy_j(4.0) == meter.energy_j(4.0)
+
+    def test_time_backwards_rejected(self):
+        meter = EnergyMeter(now=10.0, power_w=50.0)
+        with pytest.raises(ValueError):
+            meter.energy_j(5.0)
+
+    def test_negative_power_rejected(self):
+        meter = EnergyMeter()
+        with pytest.raises(ValueError):
+            meter.set_power(1.0, -5.0)
+        with pytest.raises(ValueError):
+            EnergyMeter(power_w=-1.0)
+
+    def test_power_property_tracks_latest(self):
+        meter = EnergyMeter(now=0.0, power_w=10.0)
+        meter.set_power(1.0, 30.0)
+        assert meter.power_w == 30.0
+
+    def test_same_time_power_change(self):
+        meter = EnergyMeter(now=0.0, power_w=100.0)
+        meter.set_power(0.0, 200.0)
+        assert meter.energy_j(1.0) == pytest.approx(200.0)
+
+    def test_trace_disabled_by_default(self):
+        meter = EnergyMeter()
+        with pytest.raises(RuntimeError):
+            meter.trace
+
+    def test_trace_records_change_points(self):
+        meter = EnergyMeter(now=0.0, power_w=100.0, record=True)
+        meter.set_power(2.0, 150.0)
+        meter.set_power(5.0, 150.0)  # no change: not recorded
+        meter.set_power(7.0, 50.0)
+        assert meter.trace == [(0.0, 100.0), (2.0, 150.0), (7.0, 50.0)]
+
+    def test_zero_power_periods(self):
+        meter = EnergyMeter(now=0.0, power_w=0.0)
+        meter.set_power(10.0, 100.0)
+        assert meter.energy_j(20.0) == pytest.approx(1000.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the host power-state machine."""
+
+import pytest
+
+from repro.power import (
+    HostPowerStateMachine,
+    IllegalTransition,
+    PowerState,
+)
+from repro.power.machine import TransitionInProgress
+from repro.prototype import make_prototype_blade_profile
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def profile():
+    return make_prototype_blade_profile()
+
+
+@pytest.fixture
+def machine(env, profile):
+    return HostPowerStateMachine(env, profile)
+
+
+class TestInitialState:
+    def test_starts_active(self, machine):
+        assert machine.state is PowerState.ACTIVE
+        assert machine.is_active
+        assert not machine.in_transition
+
+    def test_initial_power_is_idle(self, machine, profile):
+        assert machine.power_w() == pytest.approx(profile.idle_w)
+
+    def test_custom_initial_state(self, env, profile):
+        m = HostPowerStateMachine(env, profile, initial_state=PowerState.OFF)
+        assert m.state is PowerState.OFF
+        assert m.power_w() == pytest.approx(profile.stable_power(PowerState.OFF))
+
+
+class TestUtilization:
+    def test_utilization_changes_power(self, machine, profile):
+        machine.set_utilization(1.0)
+        assert machine.power_w() == pytest.approx(profile.peak_w)
+
+    def test_out_of_range_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.set_utilization(1.5)
+        with pytest.raises(ValueError):
+            machine.set_utilization(-0.1)
+
+    def test_utilization_ignored_while_parked(self, env, profile):
+        m = HostPowerStateMachine(env, profile, initial_state=PowerState.SLEEP)
+        m.set_utilization(0.9)
+        assert m.power_w() == pytest.approx(profile.stable_power(PowerState.SLEEP))
+
+
+class TestTransitions:
+    def test_transition_changes_state_after_latency(self, env, machine, profile):
+        env.process(machine.transition_to(PowerState.SLEEP))
+        spec = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        env.run(until=spec.latency_s / 2)
+        assert machine.in_transition
+        assert machine.state is PowerState.ACTIVE
+        assert machine.target_state is PowerState.SLEEP
+        env.run(until=spec.latency_s + 1)
+        assert not machine.in_transition
+        assert machine.state is PowerState.SLEEP
+
+    def test_power_during_transition(self, env, machine, profile):
+        env.process(machine.transition_to(PowerState.SLEEP))
+        spec = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        env.run(until=spec.latency_s / 2)
+        assert machine.power_w() == pytest.approx(spec.power_w)
+
+    def test_transition_energy_accounting(self, env, machine, profile):
+        env.process(machine.transition_to(PowerState.SLEEP))
+        spec = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        env.run(until=spec.latency_s)
+        assert machine.energy_j() == pytest.approx(spec.energy_j)
+
+    def test_illegal_transition_raises_immediately(self, env, machine):
+        env.process(machine.transition_to(PowerState.SLEEP))
+        env.run()
+        with pytest.raises(IllegalTransition):
+            machine.transition_to(PowerState.OFF)  # no SLEEP->OFF edge
+
+    def test_transition_to_same_state_rejected(self, machine):
+        with pytest.raises(IllegalTransition):
+            machine.transition_to(PowerState.ACTIVE)
+
+    def test_concurrent_transition_rejected(self, env, machine):
+        env.process(machine.transition_to(PowerState.SLEEP))
+        env.run(until=1)
+        with pytest.raises(TransitionInProgress):
+            machine.transition_to(PowerState.OFF)
+
+    def test_transition_counts(self, env, machine):
+        def cycle(env):
+            yield env.process(machine.transition_to(PowerState.SLEEP))
+            yield env.process(machine.transition_to(PowerState.ACTIVE))
+            yield env.process(machine.transition_to(PowerState.SLEEP))
+
+        env.process(cycle(env))
+        env.run()
+        counts = machine.transition_counts
+        assert counts[(PowerState.ACTIVE, PowerState.SLEEP)] == 2
+        assert counts[(PowerState.SLEEP, PowerState.ACTIVE)] == 1
+
+    def test_round_trip_restores_idle_power(self, env, machine, profile):
+        def cycle(env):
+            yield env.process(machine.transition_to(PowerState.SLEEP))
+            yield env.timeout(100)
+            yield env.process(machine.transition_to(PowerState.ACTIVE))
+
+        env.process(cycle(env))
+        env.run()
+        assert machine.state is PowerState.ACTIVE
+        assert machine.power_w() == pytest.approx(profile.idle_w)
+
+
+class TestResidency:
+    def test_residency_attribution(self, env, machine, profile):
+        def cycle(env):
+            yield env.timeout(50)  # 50 s active
+            yield env.process(machine.transition_to(PowerState.SLEEP))
+            yield env.timeout(100)  # 100 s asleep
+
+        env.process(cycle(env))
+        env.run()
+        spec = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        assert machine.residency_s(PowerState.ACTIVE) == pytest.approx(50.0)
+        assert machine.residency_s(PowerState.SLEEP) == pytest.approx(100.0)
+        assert machine.transit_time_s == pytest.approx(spec.latency_s)
+
+    def test_residency_total_matches_elapsed(self, env, machine):
+        def cycle(env):
+            yield env.timeout(30)
+            yield env.process(machine.transition_to(PowerState.SLEEP))
+            yield env.timeout(40)
+            yield env.process(machine.transition_to(PowerState.ACTIVE))
+            yield env.timeout(10)
+
+        env.process(cycle(env))
+        env.run()
+        total = (
+            sum(machine.residency_s(s) for s in PowerState)
+            + machine.transit_time_s
+        )
+        assert total == pytest.approx(env.now)

@@ -1,0 +1,105 @@
+"""Unit tests for utilization→power models."""
+
+import pytest
+
+from repro.power import LinearPowerModel, PiecewisePowerModel, specpower_like_model
+
+
+class TestLinearPowerModel:
+    def test_endpoints(self):
+        m = LinearPowerModel(100.0, 300.0)
+        assert m.power_at(0.0) == 100.0
+        assert m.power_at(1.0) == 300.0
+
+    def test_midpoint(self):
+        m = LinearPowerModel(100.0, 300.0)
+        assert m.power_at(0.5) == pytest.approx(200.0)
+
+    def test_idle_peak_properties(self):
+        m = LinearPowerModel(50.0, 250.0)
+        assert m.idle_w == 50.0
+        assert m.peak_w == 250.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPowerModel(300.0, 100.0)
+        with pytest.raises(ValueError):
+            LinearPowerModel(-1.0, 100.0)
+
+    def test_utilization_out_of_range_rejected(self):
+        m = LinearPowerModel(100.0, 300.0)
+        with pytest.raises(ValueError):
+            m.power_at(-0.1)
+        with pytest.raises(ValueError):
+            m.power_at(1.5)
+
+    def test_proportionality_index_of_zero_idle_linear_is_one(self):
+        m = LinearPowerModel(0.0, 300.0)
+        assert m.proportionality_index() == pytest.approx(1.0)
+
+    def test_proportionality_index_decreases_with_idle_power(self):
+        low_idle = LinearPowerModel(30.0, 300.0)
+        high_idle = LinearPowerModel(150.0, 300.0)
+        assert low_idle.proportionality_index() > high_idle.proportionality_index()
+
+
+class TestPiecewisePowerModel:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PiecewisePowerModel([(0.0, 100.0)])
+
+    def test_must_span_zero_to_one(self):
+        with pytest.raises(ValueError):
+            PiecewisePowerModel([(0.1, 100.0), (1.0, 200.0)])
+        with pytest.raises(ValueError):
+            PiecewisePowerModel([(0.0, 100.0), (0.9, 200.0)])
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePowerModel([(0.0, 100.0), (0.0, 150.0), (1.0, 200.0)])
+
+    def test_negative_watts_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewisePowerModel([(0.0, -5.0), (1.0, 200.0)])
+
+    def test_exact_points_returned(self):
+        m = PiecewisePowerModel([(0.0, 100.0), (0.5, 180.0), (1.0, 200.0)])
+        assert m.power_at(0.0) == 100.0
+        assert m.power_at(0.5) == 180.0
+        assert m.power_at(1.0) == 200.0
+
+    def test_interpolation_between_points(self):
+        m = PiecewisePowerModel([(0.0, 100.0), (0.5, 200.0), (1.0, 300.0)])
+        assert m.power_at(0.25) == pytest.approx(150.0)
+        assert m.power_at(0.75) == pytest.approx(250.0)
+
+    def test_unsorted_input_accepted(self):
+        m = PiecewisePowerModel([(1.0, 300.0), (0.0, 100.0), (0.5, 200.0)])
+        assert m.power_at(0.5) == 200.0
+
+
+class TestSpecpowerLikeModel:
+    def test_endpoints_match_arguments(self):
+        m = specpower_like_model(idle_w=120.0, peak_w=280.0)
+        assert m.idle_w == pytest.approx(120.0)
+        assert m.peak_w == pytest.approx(280.0)
+
+    def test_monotonically_non_decreasing(self):
+        m = specpower_like_model()
+        prev = m.power_at(0.0)
+        for i in range(1, 101):
+            cur = m.power_at(i / 100.0)
+            assert cur >= prev - 1e-9
+            prev = cur
+
+    def test_concave_shape_low_load_grows_fast(self):
+        # At 30% load the model should consume more than 30% of the
+        # dynamic range — the concavity real servers show.
+        m = specpower_like_model(idle_w=100.0, peak_w=300.0)
+        consumed = (m.power_at(0.3) - 100.0) / 200.0
+        assert consumed > 0.3
+
+    def test_idle_is_large_fraction_of_peak(self):
+        # The motivating observation: ~half of peak when idle.
+        m = specpower_like_model()
+        assert 0.4 <= m.idle_w / m.peak_w <= 0.6

@@ -1,0 +1,126 @@
+"""Unit tests for server power profiles."""
+
+import pytest
+
+from repro.power import (
+    IllegalTransition,
+    LinearPowerModel,
+    PowerState,
+    ServerPowerProfile,
+    TransitionSpec,
+)
+
+
+@pytest.fixture
+def profile():
+    return ServerPowerProfile(
+        name="test",
+        active_model=LinearPowerModel(100.0, 200.0),
+        parked_power_w={PowerState.SLEEP: 10.0, PowerState.OFF: 5.0},
+        transitions={
+            (PowerState.ACTIVE, PowerState.SLEEP): TransitionSpec(5.0, 120.0),
+            (PowerState.SLEEP, PowerState.ACTIVE): TransitionSpec(10.0, 150.0),
+            (PowerState.ACTIVE, PowerState.OFF): TransitionSpec(30.0, 100.0),
+            (PowerState.OFF, PowerState.ACTIVE): TransitionSpec(120.0, 180.0),
+        },
+    )
+
+
+class TestConstruction:
+    def test_active_in_parked_table_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPowerProfile(
+                name="bad",
+                active_model=LinearPowerModel(100.0, 200.0),
+                parked_power_w={PowerState.ACTIVE: 100.0},
+            )
+
+    def test_negative_parked_power_rejected(self):
+        with pytest.raises(ValueError):
+            ServerPowerProfile(
+                name="bad",
+                active_model=LinearPowerModel(100.0, 200.0),
+                parked_power_w={PowerState.SLEEP: -1.0},
+            )
+
+    def test_transition_to_undefined_state_rejected(self):
+        with pytest.raises(ValueError, match="no parked power"):
+            ServerPowerProfile(
+                name="bad",
+                active_model=LinearPowerModel(100.0, 200.0),
+                parked_power_w={},
+                transitions={
+                    (PowerState.ACTIVE, PowerState.SLEEP): TransitionSpec(1, 1),
+                    (PowerState.SLEEP, PowerState.ACTIVE): TransitionSpec(1, 1),
+                },
+            )
+
+
+class TestStablePower:
+    def test_active_uses_model(self, profile):
+        assert profile.stable_power(PowerState.ACTIVE, 0.5) == pytest.approx(150.0)
+
+    def test_parked_states(self, profile):
+        assert profile.stable_power(PowerState.SLEEP) == 10.0
+        assert profile.stable_power(PowerState.OFF) == 5.0
+
+    def test_undefined_state_raises(self, profile):
+        with pytest.raises(ValueError):
+            profile.stable_power(PowerState.HIBERNATE)
+
+    def test_idle_peak_shortcuts(self, profile):
+        assert profile.idle_w == 100.0
+        assert profile.peak_w == 200.0
+
+
+class TestTransitions:
+    def test_lookup(self, profile):
+        spec = profile.transition(PowerState.ACTIVE, PowerState.SLEEP)
+        assert spec.latency_s == 5.0
+
+    def test_illegal_raises_with_states(self, profile):
+        with pytest.raises(IllegalTransition) as exc_info:
+            profile.transition(PowerState.SLEEP, PowerState.OFF)
+        assert exc_info.value.src is PowerState.SLEEP
+        assert exc_info.value.dst is PowerState.OFF
+
+    def test_can_transition(self, profile):
+        assert profile.can_transition(PowerState.ACTIVE, PowerState.SLEEP)
+        assert not profile.can_transition(PowerState.SLEEP, PowerState.OFF)
+
+    def test_park_states_sorted_by_exit_latency(self, profile):
+        assert profile.park_states() == [PowerState.SLEEP, PowerState.OFF]
+
+    def test_round_trip(self, profile):
+        latency, energy = profile.round_trip(PowerState.SLEEP)
+        assert latency == pytest.approx(15.0)
+        assert energy == pytest.approx(5 * 120 + 10 * 150)
+
+
+class TestBreakeven:
+    def test_closed_form(self, profile):
+        # idle*T = E_rt + parked*(T - L_rt)
+        # 100 T = 2100 + 10 (T - 15)  =>  90 T = 1950  =>  T ~ 21.67
+        assert profile.breakeven_idle_s(PowerState.SLEEP) == pytest.approx(
+            1950.0 / 90.0
+        )
+
+    def test_never_below_round_trip_latency(self, profile):
+        assert profile.breakeven_idle_s(PowerState.SLEEP) >= 15.0
+
+    def test_deeper_state_has_longer_breakeven(self, profile):
+        assert profile.breakeven_idle_s(PowerState.OFF) > profile.breakeven_idle_s(
+            PowerState.SLEEP
+        )
+
+    def test_infinite_when_parked_draw_exceeds_idle(self):
+        profile = ServerPowerProfile(
+            name="weird",
+            active_model=LinearPowerModel(10.0, 200.0),
+            parked_power_w={PowerState.SLEEP: 50.0},
+            transitions={
+                (PowerState.ACTIVE, PowerState.SLEEP): TransitionSpec(1, 1),
+                (PowerState.SLEEP, PowerState.ACTIVE): TransitionSpec(1, 1),
+            },
+        )
+        assert profile.breakeven_idle_s(PowerState.SLEEP) == float("inf")

@@ -1,0 +1,70 @@
+"""Unit tests for power states and transition specs."""
+
+import pytest
+
+from repro.power import PowerState, TransitionSpec
+from repro.power.states import validate_transition_table
+
+
+class TestPowerState:
+    def test_active_is_not_parked(self):
+        assert not PowerState.ACTIVE.is_parked
+
+    @pytest.mark.parametrize(
+        "state", [PowerState.SLEEP, PowerState.HIBERNATE, PowerState.OFF]
+    )
+    def test_non_active_states_are_parked(self, state):
+        assert state.is_parked
+
+
+class TestTransitionSpec:
+    def test_energy_is_latency_times_power(self):
+        spec = TransitionSpec(latency_s=10.0, power_w=150.0)
+        assert spec.energy_j == pytest.approx(1500.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSpec(latency_s=-1.0, power_w=100.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSpec(latency_s=1.0, power_w=-100.0)
+
+    def test_zero_latency_allowed(self):
+        assert TransitionSpec(latency_s=0.0, power_w=0.0).energy_j == 0.0
+
+    def test_frozen(self):
+        spec = TransitionSpec(latency_s=1.0, power_w=1.0)
+        with pytest.raises(AttributeError):
+            spec.latency_s = 2.0
+
+
+class TestTransitionTableValidation:
+    def test_valid_round_trip_table(self):
+        table = {
+            (PowerState.ACTIVE, PowerState.SLEEP): TransitionSpec(5, 100),
+            (PowerState.SLEEP, PowerState.ACTIVE): TransitionSpec(10, 150),
+        }
+        validate_transition_table(table)  # should not raise
+
+    def test_dead_end_state_rejected(self):
+        table = {
+            (PowerState.ACTIVE, PowerState.OFF): TransitionSpec(5, 100),
+        }
+        with pytest.raises(ValueError, match="no exit path"):
+            validate_transition_table(table)
+
+    def test_self_transition_rejected(self):
+        table = {
+            (PowerState.SLEEP, PowerState.SLEEP): TransitionSpec(1, 1),
+        }
+        with pytest.raises(ValueError, match="self-transition"):
+            validate_transition_table(table)
+
+    def test_non_spec_value_rejected(self):
+        table = {(PowerState.ACTIVE, PowerState.SLEEP): (5, 100)}
+        with pytest.raises(TypeError):
+            validate_transition_table(table)
+
+    def test_empty_table_is_valid(self):
+        validate_transition_table({})

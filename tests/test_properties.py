@@ -1,0 +1,321 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import VM
+from repro.migration import PreCopyModel
+from repro.placement import PackingError, first_fit_decreasing
+from repro.power import EnergyMeter, LinearPowerModel, PiecewisePowerModel
+from repro.power.models import specpower_like_model
+from repro.prototype import PROTOTYPE_BLADE, energy_during_gap
+from repro.power.states import PowerState
+from repro.sim import Environment
+from repro.telemetry import TimeSeries
+from repro.workload import (
+    BurstyTrace,
+    CompositeTrace,
+    DiurnalTrace,
+    FlatTrace,
+    NoisyTrace,
+)
+
+
+# ---------------------------------------------------------------------------
+# Energy meter
+# ---------------------------------------------------------------------------
+
+power_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=1000.0),  # duration
+        st.floats(min_value=0.0, max_value=500.0),  # watts
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(steps=power_steps, initial_w=st.floats(min_value=0.0, max_value=500.0))
+def test_energy_meter_matches_manual_integral(steps, initial_w):
+    meter = EnergyMeter(now=0.0, power_w=initial_w)
+    t = 0.0
+    expected = 0.0
+    current_w = initial_w
+    for duration, watts in steps:
+        expected += current_w * duration
+        t += duration
+        meter.set_power(t, watts)
+        current_w = watts
+    assert meter.energy_j(t) == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@given(steps=power_steps)
+def test_energy_meter_is_monotone_in_time(steps):
+    meter = EnergyMeter(now=0.0, power_w=100.0)
+    t = 0.0
+    last_energy = 0.0
+    for duration, watts in steps:
+        t += duration
+        meter.set_power(t, watts)
+        energy = meter.energy_j(t)
+        assert energy >= last_energy - 1e-9
+        last_energy = energy
+
+
+# ---------------------------------------------------------------------------
+# Power models
+# ---------------------------------------------------------------------------
+
+@given(
+    idle=st.floats(min_value=0.0, max_value=300.0),
+    extra=st.floats(min_value=0.0, max_value=300.0),
+    u=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_linear_model_bounded_by_endpoints(idle, extra, u):
+    m = LinearPowerModel(idle, idle + extra)
+    p = m.power_at(u)
+    assert idle - 1e-9 <= p <= idle + extra + 1e-9
+
+
+@given(
+    watts=st.lists(
+        st.floats(min_value=0.0, max_value=500.0), min_size=2, max_size=12
+    ),
+    u=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_piecewise_model_within_calibration_range(watts, u):
+    n = len(watts)
+    points = [(i / (n - 1), w) for i, w in enumerate(watts)]
+    m = PiecewisePowerModel(points)
+    p = m.power_at(u)
+    assert min(watts) - 1e-9 <= p <= max(watts) + 1e-9
+
+
+@given(
+    u1=st.floats(min_value=0.0, max_value=1.0),
+    u2=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_specpower_model_monotone(u1, u2):
+    m = specpower_like_model()
+    lo, hi = sorted((u1, u2))
+    assert m.power_at(lo) <= m.power_at(hi) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Pre-copy migration model
+# ---------------------------------------------------------------------------
+
+@given(
+    mem=st.floats(min_value=0.5, max_value=512.0),
+    dirty=st.floats(min_value=0.0, max_value=2.0),
+    bw=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_precopy_invariants(mem, dirty, bw):
+    model = PreCopyModel(bandwidth_gbps=bw)
+    outcome = model.solve(mem, dirty)
+    assert outcome.total_time_s > 0
+    assert 0 <= outcome.downtime_s <= outcome.total_time_s
+    assert outcome.transferred_gb >= mem - 1e-9
+    assert outcome.rounds >= 1
+    # Everything transferred must fit in the elapsed time at bandwidth bw.
+    assert outcome.transferred_gb / bw == pytest.approx(outcome.total_time_s)
+
+
+@given(
+    mem1=st.floats(min_value=0.5, max_value=64.0),
+    mem2=st.floats(min_value=0.5, max_value=64.0),
+    dirty=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_precopy_monotone_in_memory(mem1, mem2, dirty):
+    model = PreCopyModel(bandwidth_gbps=1.0)
+    lo, hi = sorted((mem1, mem2))
+    assert (
+        model.migration_time_s(lo, dirty)
+        <= model.migration_time_s(hi, dirty) + 1e-9
+    )
+
+
+# ---------------------------------------------------------------------------
+# Traces
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    t=st.floats(min_value=0.0, max_value=10 * 86_400.0),
+)
+def test_bursty_trace_always_in_bounds(seed, t):
+    trace = BurstyTrace(seed, base=0.1, burst=0.9)
+    assert 0.0 <= trace.at(t) <= 1.0
+
+
+@given(
+    low=st.floats(min_value=0.0, max_value=0.5),
+    span=st.floats(min_value=0.0, max_value=0.5),
+    t=st.floats(min_value=0.0, max_value=86_400.0),
+)
+def test_diurnal_trace_in_configured_band(low, span, t):
+    trace = DiurnalTrace(low=low, high=low + span)
+    v = trace.at(t)
+    assert low - 1e-9 <= v <= low + span + 1e-9
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=5
+    ),
+    levels=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=5
+    ),
+    t=st.floats(min_value=0.0, max_value=1e6),
+)
+def test_composite_trace_clamped(weights, levels, t):
+    n = min(len(weights), len(levels))
+    parts = [(weights[i], FlatTrace(levels[i])) for i in range(n)]
+    assert 0.0 <= CompositeTrace(parts).at(t) <= 1.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    sigma=st.floats(min_value=0.0, max_value=1.0),
+    t=st.floats(min_value=0.0, max_value=86_400.0),
+)
+@settings(max_examples=30)
+def test_noisy_trace_clamped(seed, sigma, t):
+    trace = NoisyTrace(FlatTrace(0.5), seed=seed, sigma=sigma, horizon_s=86_400.0)
+    assert 0.0 <= trace.at(t) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Time series
+# ---------------------------------------------------------------------------
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=40
+    ),
+    gaps=st.lists(
+        st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=40
+    ),
+)
+def test_timeseries_integral_matches_manual(values, gaps):
+    n = min(len(values), len(gaps) + 1)
+    values = values[:n]
+    gaps = gaps[: n - 1]
+    ts = TimeSeries("prop")
+    t = 0.0
+    ts.append(t, values[0])
+    for v, g in zip(values[1:], gaps):
+        t += g
+        ts.append(t, v)
+    expected = sum(v * g for v, g in zip(values[:-1], gaps))
+    assert ts.integral() == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=40
+    ),
+    threshold=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_timeseries_fraction_above_in_unit_interval(values, threshold):
+    ts = TimeSeries("prop")
+    for i, v in enumerate(values):
+        ts.append(float(i), v)
+    frac = ts.fraction_above(threshold)
+    assert 0.0 <= frac <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Packing
+# ---------------------------------------------------------------------------
+
+vm_specs = st.lists(
+    st.tuples(
+        st.sampled_from([1, 2, 4, 8]),  # vcpus
+        st.floats(min_value=1.0, max_value=32.0),  # mem_gb
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(specs=vm_specs, target=st.floats(min_value=0.3, max_value=1.0))
+@settings(max_examples=50)
+def test_ffd_never_overcommits(specs, target):
+    from repro.datacenter import Cluster
+
+    env = Environment()
+    cluster = Cluster.homogeneous(env, PROTOTYPE_BLADE, 6, cores=16.0, mem_gb=64.0)
+    vms = [
+        VM("vm-{}".format(i), vcpus=v, mem_gb=m, trace=FlatTrace(0.5))
+        for i, (v, m) in enumerate(specs)
+    ]
+    try:
+        plan = first_fit_decreasing(vms, cluster.hosts, cpu_target=target)
+    except PackingError:
+        return  # refusing is always allowed; overcommitting is not
+    cpu_per_host, mem_per_host = {}, {}
+    for vm, host in plan.items():
+        cpu_per_host[host.name] = cpu_per_host.get(host.name, 0) + vm.vcpus
+        mem_per_host[host.name] = mem_per_host.get(host.name, 0) + vm.mem_gb
+    for name, total in cpu_per_host.items():
+        assert total <= 16.0 * target + 1e-6
+    for name, total in mem_per_host.items():
+        assert total <= 64.0 + 1e-6
+    assert len(plan) == len(vms)
+
+
+# ---------------------------------------------------------------------------
+# Prototype energy model
+# ---------------------------------------------------------------------------
+
+@given(
+    gap=st.floats(min_value=1.0, max_value=86_400.0),
+    state=st.sampled_from([PowerState.SLEEP, PowerState.HIBERNATE, PowerState.OFF]),
+)
+def test_energy_during_gap_at_least_transition_energy(gap, state):
+    enter = PROTOTYPE_BLADE.transition(PowerState.ACTIVE, state)
+    leave = PROTOTYPE_BLADE.transition(state, PowerState.ACTIVE)
+    energy = energy_during_gap(PROTOTYPE_BLADE, state, gap)
+    assert energy >= enter.energy_j + leave.energy_j - 1e-9
+
+
+@given(gap=st.floats(min_value=1.0, max_value=86_400.0))
+def test_breakeven_consistency(gap):
+    # Beyond break-even, parking must beat idling; the model and the
+    # closed form must agree on which side of the line we are.
+    state = PowerState.SLEEP
+    breakeven = PROTOTYPE_BLADE.breakeven_idle_s(state)
+    idle_energy = PROTOTYPE_BLADE.idle_w * gap
+    park_energy = energy_during_gap(PROTOTYPE_BLADE, state, gap)
+    if gap > breakeven * 1.01:
+        assert park_energy < idle_energy
+    elif gap < breakeven * 0.99:
+        assert park_energy > idle_energy
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel ordering
+# ---------------------------------------------------------------------------
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30
+    )
+)
+def test_kernel_processes_events_in_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(waiter(env, d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

@@ -1,0 +1,153 @@
+"""Unit tests for the prototype characterization package."""
+
+import pytest
+
+from repro.power import PowerState
+from repro.prototype import (
+    LEGACY_BLADE,
+    PROTOTYPE_BLADE,
+    breakeven_curve,
+    characterization_table,
+    energy_during_gap,
+    format_characterization_table,
+    make_legacy_blade_profile,
+    make_prototype_blade_profile,
+    replay_idle_window,
+)
+
+
+class TestCalibration:
+    def test_prototype_offers_three_park_states(self):
+        assert set(PROTOTYPE_BLADE.park_states()) == {
+            PowerState.SLEEP,
+            PowerState.HIBERNATE,
+            PowerState.OFF,
+        }
+
+    def test_legacy_offers_only_off(self):
+        assert LEGACY_BLADE.park_states() == [PowerState.OFF]
+
+    def test_idle_roughly_half_of_peak(self):
+        ratio = PROTOTYPE_BLADE.idle_w / PROTOTYPE_BLADE.peak_w
+        assert 0.4 <= ratio <= 0.6
+
+    def test_sleep_saves_over_ninety_percent_of_idle(self):
+        sleep_w = PROTOTYPE_BLADE.stable_power(PowerState.SLEEP)
+        assert sleep_w < 0.1 * PROTOTYPE_BLADE.idle_w
+
+    def test_sleep_exit_is_order_of_magnitude_faster_than_boot(self):
+        resume = PROTOTYPE_BLADE.transition(PowerState.SLEEP, PowerState.ACTIVE)
+        boot = PROTOTYPE_BLADE.transition(PowerState.OFF, PowerState.ACTIVE)
+        assert boot.latency_s / resume.latency_s >= 10.0
+
+    def test_resume_latency_knob(self):
+        p = make_prototype_blade_profile(resume_latency_s=60.0)
+        assert p.transition(PowerState.SLEEP, PowerState.ACTIVE).latency_s == 60.0
+
+    def test_profiles_are_independent_instances(self):
+        assert make_prototype_blade_profile() is not PROTOTYPE_BLADE
+        assert make_legacy_blade_profile() is not LEGACY_BLADE
+
+
+class TestCharacterizationTable:
+    def test_rows_cover_all_park_states(self):
+        rows = characterization_table(PROTOTYPE_BLADE)
+        assert [r.state for r in rows] == PROTOTYPE_BLADE.park_states()
+
+    def test_breakeven_ordering_sleep_fastest(self):
+        rows = {r.state: r for r in characterization_table(PROTOTYPE_BLADE)}
+        assert (
+            rows[PowerState.SLEEP].breakeven_idle_s
+            < rows[PowerState.HIBERNATE].breakeven_idle_s
+            < rows[PowerState.OFF].breakeven_idle_s
+        )
+
+    def test_sleep_breakeven_under_a_minute(self):
+        rows = {r.state: r for r in characterization_table(PROTOTYPE_BLADE)}
+        assert rows[PowerState.SLEEP].breakeven_idle_s < 60.0
+
+    def test_off_breakeven_minutes_scale(self):
+        rows = {r.state: r for r in characterization_table(PROTOTYPE_BLADE)}
+        assert rows[PowerState.OFF].breakeven_idle_s > 120.0
+
+    def test_savings_vs_idle(self):
+        rows = {r.state: r for r in characterization_table(PROTOTYPE_BLADE)}
+        savings = rows[PowerState.SLEEP].savings_vs_idle(PROTOTYPE_BLADE.idle_w)
+        assert savings > 0.9
+
+    def test_format_contains_every_state(self):
+        text = format_characterization_table(PROTOTYPE_BLADE)
+        for state in ("active", "sleep", "hibernate", "off"):
+            assert state in text
+
+
+class TestBreakevenCurve:
+    def test_ratio_below_one_beyond_breakeven(self):
+        b = PROTOTYPE_BLADE.breakeven_idle_s(PowerState.SLEEP)
+        curves = breakeven_curve(PROTOTYPE_BLADE, [b * 2], states=[PowerState.SLEEP])
+        assert curves["sleep"][0][1] < 1.0
+
+    def test_ratio_above_one_below_breakeven(self):
+        b = PROTOTYPE_BLADE.breakeven_idle_s(PowerState.SLEEP)
+        curves = breakeven_curve(
+            PROTOTYPE_BLADE, [b * 0.5], states=[PowerState.SLEEP]
+        )
+        assert curves["sleep"][0][1] > 1.0
+
+    def test_default_includes_all_park_states(self):
+        curves = breakeven_curve(PROTOTYPE_BLADE, [600.0])
+        assert set(curves) == {"sleep", "hibernate", "off"}
+
+    def test_long_gaps_approach_parked_power_ratio(self):
+        gap = 7 * 86_400.0
+        curves = breakeven_curve(PROTOTYPE_BLADE, [gap], states=[PowerState.SLEEP])
+        expected = PROTOTYPE_BLADE.stable_power(PowerState.SLEEP) / PROTOTYPE_BLADE.idle_w
+        assert curves["sleep"][0][1] == pytest.approx(expected, rel=0.05)
+
+    def test_non_positive_gap_rejected(self):
+        with pytest.raises(ValueError):
+            breakeven_curve(PROTOTYPE_BLADE, [0.0])
+
+    def test_energy_during_gap_monotone_in_gap(self):
+        e1 = energy_during_gap(PROTOTYPE_BLADE, PowerState.SLEEP, 100.0)
+        e2 = energy_during_gap(PROTOTYPE_BLADE, PowerState.SLEEP, 1000.0)
+        assert e2 > e1
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            energy_during_gap(PROTOTYPE_BLADE, PowerState.SLEEP, -1.0)
+
+
+class TestReplayIdleWindow:
+    def test_sleep_saves_energy_on_long_gap(self):
+        r = replay_idle_window(PROTOTYPE_BLADE, PowerState.SLEEP, idle_gap_s=600.0)
+        assert r["energy_j"] < r["energy_j_always_on"]
+        assert r["late_s"] == 0.0
+
+    def test_off_overshoots_short_gap(self):
+        r = replay_idle_window(PROTOTYPE_BLADE, PowerState.OFF, idle_gap_s=120.0)
+        assert r["late_s"] > 0.0
+
+    def test_sleep_handles_short_gap_on_time(self):
+        r = replay_idle_window(PROTOTYPE_BLADE, PowerState.SLEEP, idle_gap_s=120.0)
+        assert r["late_s"] == 0.0
+
+    def test_trace_starts_at_busy_power(self):
+        r = replay_idle_window(
+            PROTOTYPE_BLADE, PowerState.SLEEP, busy_utilization=0.6
+        )
+        busy_w = PROTOTYPE_BLADE.active_model.power_at(0.6)
+        t0_points = [w for t, w in r["trace"] if t == 0.0]
+        assert t0_points[-1] == pytest.approx(busy_w)
+
+    def test_transitions_counted(self):
+        r = replay_idle_window(PROTOTYPE_BLADE, PowerState.SLEEP)
+        assert r["transitions"][(PowerState.ACTIVE, PowerState.SLEEP)] == 1
+        assert r["transitions"][(PowerState.SLEEP, PowerState.ACTIVE)] == 1
+
+    def test_sleep_beats_off_on_medium_gap(self):
+        sleep = replay_idle_window(
+            PROTOTYPE_BLADE, PowerState.SLEEP, idle_gap_s=600.0
+        )
+        off = replay_idle_window(PROTOTYPE_BLADE, PowerState.OFF, idle_gap_s=600.0)
+        assert sleep["energy_j"] < off["energy_j"]

@@ -1,0 +1,152 @@
+"""Unit tests for the environment / run loop."""
+
+import pytest
+
+from repro.sim import Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+        env.run(until=50)
+        assert env.now == 50.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_schedule_into_past_raises(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1)
+
+
+class TestRun:
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(3)
+            return "finished"
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == "finished"
+        assert env.now == 3.0
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+        t = env.timeout(0, value="v")
+        env.step()
+        assert env.run(until=t) == "v"
+
+    def test_run_until_event_that_never_fires_raises(self):
+        env = Environment()
+        orphan = env.event()
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            env.run(until=orphan)
+
+    def test_run_drains_queue_when_no_until(self):
+        env = Environment()
+        times = []
+
+        def proc(env):
+            yield env.timeout(7)
+            times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == [7.0]
+        assert env.peek() == float("inf")
+
+    def test_stop_exactly_at_until_not_beyond(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(10)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=35)
+        assert fired == [10.0, 20.0, 30.0]
+        assert env.now == 35.0
+
+    def test_events_at_until_boundary_not_processed(self):
+        # run(until=t) stops *at* t before same-time normal events run.
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=10)
+        assert fired == []
+
+
+class TestDeterminism:
+    def test_fifo_order_for_simultaneous_events(self):
+        env = Environment()
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(5)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_repeat_runs_identical(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def worker(env, tag, delay):
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+                yield env.timeout(delay)
+                log.append((env.now, tag))
+
+            for i, d in enumerate((3, 1, 2)):
+                env.process(worker(env, i, d))
+            env.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+    def test_peek_returns_next_event_time(self):
+        env = Environment()
+        env.timeout(4)
+        env.timeout(2)
+        assert env.peek() == 2.0
+
+    def test_step_on_empty_raises(self):
+        env = Environment()
+        from repro.sim.environment import EmptySchedule
+
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_active_process_visible_during_step(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None

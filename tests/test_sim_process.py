@@ -1,0 +1,197 @@
+"""Unit tests for simulation processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "done"
+
+    def test_is_alive_transitions(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_name_is_generator_name(self, env):
+        def my_activity(env):
+            yield env.timeout(1)
+
+        assert env.process(my_activity(env)).name == "my_activity"
+
+    def test_waiting_on_another_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value + 1
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 100
+
+    def test_yield_already_processed_event(self, env):
+        t = env.timeout(0, value="old")
+        env.step()
+
+        def proc(env):
+            v = yield t
+            return v
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "old"
+
+    def test_yield_non_event_raises_inside_process(self, env):
+        def proc(env):
+            with pytest.raises(TypeError, match="non-event"):
+                yield 42
+            return "recovered"
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "recovered"
+
+    def test_exception_propagates_to_waiter(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("missing")
+
+        def waiter(env):
+            try:
+                yield env.process(bad(env))
+            except KeyError:
+                return "caught"
+            return "not caught"
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_unwaited_crash_surfaces_to_run(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("crash")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="crash"):
+            env.run()
+
+    def test_target_exposed_while_waiting(self, env):
+        t_holder = {}
+
+        def proc(env):
+            t_holder["timeout"] = env.timeout(10)
+            yield t_holder["timeout"]
+
+        p = env.process(proc(env))
+        env.run(until=5)
+        assert p.target is t_holder["timeout"]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                causes.append(i.cause)
+
+        p = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(2)
+            p.interrupt("reason")
+
+        env.process(interrupter(env))
+        env.run()
+        assert causes == ["reason"]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(3)
+            log.append(("resumed", env.now))
+
+        p = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(4)
+            p.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        assert log == [("interrupted", 4.0), ("resumed", 7.0)]
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_original_target_does_not_resume_after_interrupt(self, env):
+        resumes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(10)
+                resumes.append("timeout fired into process")
+            except Interrupt:
+                resumes.append("interrupt")
+            yield env.timeout(50)
+            resumes.append("second wait done")
+
+        p = env.process(sleeper(env))
+
+        def interrupter(env):
+            yield env.timeout(1)
+            p.interrupt()
+
+        env.process(interrupter(env))
+        env.run()
+        # The 10s timeout still fires at t=10 but must not resume the
+        # process a second time (which would corrupt the second wait).
+        assert resumes == ["interrupt", "second wait done"]
+
+    def test_self_interrupt_rejected(self, env):
+        holder = {}
+
+        def proc(env):
+            with pytest.raises(RuntimeError, match="cannot interrupt itself"):
+                holder["p"].interrupt()
+            yield env.timeout(1)
+
+        holder["p"] = env.process(proc(env))
+        env.run()

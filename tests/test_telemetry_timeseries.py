@@ -1,0 +1,95 @@
+"""Unit tests for the time-series container."""
+
+import pytest
+
+from repro.telemetry import TimeSeries
+
+
+@pytest.fixture
+def series():
+    ts = TimeSeries("test")
+    for t, v in [(0.0, 10.0), (10.0, 20.0), (20.0, 0.0), (30.0, 40.0)]:
+        ts.append(t, v)
+    return ts
+
+
+class TestAppend:
+    def test_length(self, series):
+        assert len(series) == 4
+
+    def test_non_monotonic_rejected(self, series):
+        with pytest.raises(ValueError):
+            series.append(5.0, 1.0)
+
+    def test_equal_time_allowed(self, series):
+        series.append(30.0, 50.0)
+        assert len(series) == 5
+
+    def test_last(self, series):
+        assert series.last() == (30.0, 40.0)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries("empty").last()
+
+
+class TestStatistics:
+    def test_integral_sample_and_hold(self, series):
+        # 10*10 + 20*10 + 0*10 = 300 (last point has no width)
+        assert series.integral() == pytest.approx(300.0)
+
+    def test_mean_is_time_weighted(self, series):
+        assert series.mean() == pytest.approx(300.0 / 30.0)
+
+    def test_single_point_mean(self):
+        ts = TimeSeries("one")
+        ts.append(0.0, 5.0)
+        assert ts.mean() == 5.0
+
+    def test_max_min(self, series):
+        assert series.max() == 40.0
+        assert series.min() == 0.0
+
+    def test_empty_statistics_raise(self):
+        ts = TimeSeries("empty")
+        with pytest.raises(ValueError):
+            ts.mean()
+        with pytest.raises(ValueError):
+            ts.max()
+
+    def test_fraction_above(self, series):
+        # Held intervals: 10 (0-10), 20 (10-20), 0 (20-30).
+        assert series.fraction_above(5.0) == pytest.approx(2.0 / 3.0)
+        assert series.fraction_above(15.0) == pytest.approx(1.0 / 3.0)
+        assert series.fraction_above(100.0) == 0.0
+
+    def test_fraction_above_short_series(self):
+        ts = TimeSeries("short")
+        ts.append(0.0, 1.0)
+        assert ts.fraction_above(0.5) == 0.0
+
+    def test_percentile(self, series):
+        assert series.percentile(100) == 40.0
+        assert series.percentile(0) == 0.0
+
+    def test_integral_of_short_series_zero(self):
+        ts = TimeSeries("short")
+        ts.append(0.0, 99.0)
+        assert ts.integral() == 0.0
+
+
+class TestViews:
+    def test_points(self, series):
+        assert series.points()[0] == (0.0, 10.0)
+
+    def test_arrays(self, series):
+        assert list(series.times) == [0.0, 10.0, 20.0, 30.0]
+        assert list(series.values) == [10.0, 20.0, 0.0, 40.0]
+
+    def test_downsample(self, series):
+        thin = series.downsample(2)
+        assert thin.points() == [(0.0, 10.0), (20.0, 0.0)]
+
+    def test_downsample_validation(self, series):
+        with pytest.raises(ValueError):
+            series.downsample(0)

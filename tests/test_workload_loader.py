@@ -1,0 +1,135 @@
+"""Unit tests for the extended traces and the CSV/sample loaders."""
+
+import io
+
+import pytest
+
+from repro.workload import (
+    FlatTrace,
+    PlateauTrace,
+    WeeklyTrace,
+    trace_from_csv,
+    trace_from_samples,
+)
+from repro.workload.traces import DAY_S, DiurnalTrace
+
+
+class TestPlateauTrace:
+    def test_night_is_low(self):
+        t = PlateauTrace(low=0.1, high=0.8, start_hour=8, end_hour=18)
+        assert t.at(2 * 3600.0) == pytest.approx(0.1)
+        assert t.at(23 * 3600.0) == pytest.approx(0.1)
+
+    def test_midday_is_high(self):
+        t = PlateauTrace(low=0.1, high=0.8, start_hour=8, end_hour=18)
+        assert t.at(13 * 3600.0) == pytest.approx(0.8)
+
+    def test_ramp_interpolates(self):
+        t = PlateauTrace(low=0.0, high=1.0, start_hour=8, end_hour=18, ramp_s=3600)
+        assert t.at(8.5 * 3600.0) == pytest.approx(0.5)
+        assert t.at(17.5 * 3600.0) == pytest.approx(0.5)
+
+    def test_periodic_across_days(self):
+        t = PlateauTrace()
+        assert t.at(13 * 3600.0) == pytest.approx(t.at(DAY_S + 13 * 3600.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlateauTrace(low=0.9, high=0.1)
+        with pytest.raises(ValueError):
+            PlateauTrace(start_hour=18, end_hour=8)
+        with pytest.raises(ValueError):
+            PlateauTrace(start_hour=8, end_hour=9, ramp_s=3600)
+
+    def test_bounded_everywhere(self):
+        t = PlateauTrace(low=0.05, high=0.95)
+        for hour in range(0, 48):
+            v = t.at(hour * 1800.0)
+            assert 0.05 - 1e-9 <= v <= 0.95 + 1e-9
+
+
+class TestWeeklyTrace:
+    def test_weekday_unchanged(self):
+        t = WeeklyTrace(FlatTrace(0.6), weekend_factor=0.5)
+        assert t.at(2 * DAY_S) == pytest.approx(0.6)  # Wednesday
+
+    def test_weekend_scaled(self):
+        t = WeeklyTrace(FlatTrace(0.6), weekend_factor=0.5)
+        assert t.at(5 * DAY_S + 100.0) == pytest.approx(0.3)
+        assert t.at(6 * DAY_S + 100.0) == pytest.approx(0.3)
+
+    def test_floor_applies_on_weekend(self):
+        t = WeeklyTrace(FlatTrace(0.05), weekend_factor=0.1, floor=0.02)
+        assert t.at(5 * DAY_S) == pytest.approx(0.02)
+
+    def test_second_week_repeats(self):
+        t = WeeklyTrace(FlatTrace(0.6), weekend_factor=0.5)
+        assert t.at(12 * DAY_S + 100.0) == pytest.approx(0.3)  # day 12 = Saturday
+
+    def test_composes_with_diurnal(self):
+        t = WeeklyTrace(DiurnalTrace(low=0.1, high=0.9), weekend_factor=0.3)
+        for day in range(7):
+            for hour in (3, 14):
+                v = t.at(day * DAY_S + hour * 3600.0)
+                assert 0.0 <= v <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeeklyTrace(FlatTrace(0.5), weekend_factor=1.5)
+        with pytest.raises(ValueError):
+            WeeklyTrace(FlatTrace(0.5), floor=-0.1)
+
+
+class TestTraceFromSamples:
+    def test_sample_and_hold(self):
+        trace = trace_from_samples([(0.0, 0.2), (120.0, 0.8)], step_s=60.0)
+        assert trace.at(0.0) == pytest.approx(0.2)
+        assert trace.at(60.0) == pytest.approx(0.2)
+        assert trace.at(120.0) == pytest.approx(0.8)
+
+    def test_irregular_samples_resampled(self):
+        trace = trace_from_samples(
+            [(0.0, 0.1), (90.0, 0.5), (300.0, 0.9)], step_s=60.0
+        )
+        assert trace.at(0.0) == pytest.approx(0.1)
+        assert trace.at(120.0) == pytest.approx(0.5)  # held from t=90
+        assert trace.at(300.0) == pytest.approx(0.9)
+
+    def test_unsorted_input_accepted(self):
+        trace = trace_from_samples([(120.0, 0.8), (0.0, 0.2)], step_s=60.0)
+        assert trace.at(0.0) == pytest.approx(0.2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_samples([(0.0, 1.5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_samples([])
+
+
+class TestTraceFromCsv:
+    CSV = "time_s,fraction\n0,0.2\n60,0.4\n120,0.9\n"
+
+    def test_loads_from_string(self):
+        trace = trace_from_csv(self.CSV)
+        assert trace.at(0.0) == pytest.approx(0.2)
+        assert trace.at(65.0) == pytest.approx(0.4)
+        assert trace.at(120.0) == pytest.approx(0.9)
+
+    def test_loads_from_file_object(self):
+        trace = trace_from_csv(io.StringIO(self.CSV))
+        assert trace.at(0.0) == pytest.approx(0.2)
+
+    def test_custom_column_names(self):
+        csv_text = "ts,util,extra\n0,0.3,x\n60,0.6,y\n"
+        trace = trace_from_csv(csv_text, time_column="ts", value_column="util")
+        assert trace.at(60.0) == pytest.approx(0.6)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            trace_from_csv("a,b\n1,2\n")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError, match="no data rows"):
+            trace_from_csv("time_s,fraction\n")

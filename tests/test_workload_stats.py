@@ -1,0 +1,112 @@
+"""Unit tests for workload characterization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    BurstyTrace,
+    DiurnalTrace,
+    FlatTrace,
+    FleetSpec,
+    aggregate_demand_series,
+    build_fleet,
+    fleet_correlation,
+    series_stats,
+    trace_stats,
+)
+
+DAY = 86_400.0
+
+
+class TestSeriesStats:
+    def test_flat_signal(self):
+        stats = series_stats([0.5] * 100)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.peak == pytest.approx(0.5)
+        assert stats.peak_to_mean == pytest.approx(1.0)
+        assert stats.burstiness == 0.0
+        assert stats.autocorrelation == 1.0  # constant = perfectly predictable
+
+    def test_zero_signal_peak_to_mean_inf(self):
+        stats = series_stats([0.0, 0.0, 0.0])
+        assert stats.peak_to_mean == float("inf")
+
+    def test_alternating_signal_is_bursty(self):
+        smooth = series_stats(list(np.linspace(0, 1, 100)))
+        bursty = series_stats([0.0, 1.0] * 50)
+        assert bursty.burstiness > smooth.burstiness
+
+    def test_trough_fraction(self):
+        # Half the samples at 10% of peak: trough_level 0.25 => 50%.
+        stats = series_stats([0.1, 1.0] * 50)
+        assert stats.trough_fraction == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_stats([1.0])
+        with pytest.raises(ValueError):
+            series_stats([1.0, 2.0], lag_steps=0)
+
+
+class TestTraceStats:
+    def test_diurnal_has_structure(self):
+        stats = trace_stats(DiurnalTrace(low=0.1, high=0.9), horizon_s=2 * DAY)
+        assert stats.peak_to_mean > 1.3
+        assert stats.autocorrelation > 0.5  # smooth, periodic
+        assert stats.burstiness < 0.05
+
+    def test_bursty_less_predictable_than_diurnal(self):
+        diurnal = trace_stats(DiurnalTrace(), horizon_s=2 * DAY)
+        bursty = trace_stats(BurstyTrace(seed=5), horizon_s=2 * DAY)
+        assert bursty.burstiness > diurnal.burstiness
+
+    def test_flat_trace(self):
+        stats = trace_stats(FlatTrace(0.4), horizon_s=DAY)
+        assert stats.peak_to_mean == pytest.approx(1.0)
+        assert stats.trough_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trace_stats(FlatTrace(0.4), horizon_s=0.0)
+
+
+class TestFleetCorrelation:
+    def test_shared_signal_raises_correlation(self):
+        base = FleetSpec(
+            n_vms=12, horizon_s=DAY, archetype_weights={"bursty": 1.0}
+        )
+        shared = FleetSpec(
+            n_vms=12,
+            horizon_s=DAY,
+            archetype_weights={"bursty": 1.0},
+            shared_fraction=0.8,
+        )
+        rho_independent = fleet_correlation(
+            build_fleet(base, seed=3), horizon_s=DAY
+        )
+        rho_shared = fleet_correlation(build_fleet(shared, seed=3), horizon_s=DAY)
+        assert rho_shared > rho_independent + 0.2
+
+    def test_needs_two_vms(self):
+        fleet = build_fleet(FleetSpec(n_vms=1, horizon_s=DAY), seed=0)
+        with pytest.raises(ValueError):
+            fleet_correlation(fleet, horizon_s=DAY)
+
+    def test_result_in_valid_range(self):
+        fleet = build_fleet(FleetSpec(n_vms=8, horizon_s=DAY), seed=1)
+        rho = fleet_correlation(fleet, horizon_s=DAY)
+        assert -1.0 <= rho <= 1.0
+
+
+class TestAggregateDemand:
+    def test_matches_manual_sum(self):
+        fleet = build_fleet(FleetSpec(n_vms=6, horizon_s=DAY), seed=2)
+        series = aggregate_demand_series(fleet, horizon_s=DAY, step_s=3600.0)
+        manual = sum(vm.demand_cores(0.0) for vm in fleet)
+        assert series[0] == pytest.approx(manual)
+        assert len(series) == 24
+
+    def test_non_negative(self):
+        fleet = build_fleet(FleetSpec(n_vms=6, horizon_s=DAY), seed=2)
+        series = aggregate_demand_series(fleet, horizon_s=DAY)
+        assert (series >= 0).all()

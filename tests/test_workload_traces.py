@@ -1,0 +1,193 @@
+"""Unit tests for workload traces."""
+
+import pytest
+
+from repro.workload import (
+    BurstyTrace,
+    CompositeTrace,
+    DiurnalTrace,
+    FlatTrace,
+    NoisyTrace,
+    SampledTrace,
+    ScaledTrace,
+    SpikeTrace,
+    StepTrace,
+)
+from repro.workload.traces import DAY_S
+
+
+def sample_range(trace, horizon=DAY_S, step=300.0):
+    return [trace.at(i * step) for i in range(int(horizon // step))]
+
+
+class TestFlatTrace:
+    def test_constant(self):
+        t = FlatTrace(0.3)
+        assert t.at(0) == 0.3
+        assert t.at(1e6) == 0.3
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FlatTrace(1.2)
+        with pytest.raises(ValueError):
+            FlatTrace(-0.1)
+
+    def test_mean_and_peak(self):
+        t = FlatTrace(0.4)
+        assert t.mean(3600) == pytest.approx(0.4)
+        assert t.peak(3600) == pytest.approx(0.4)
+
+
+class TestStepTrace:
+    def test_levels_change_at_breakpoints(self):
+        t = StepTrace([(0.0, 0.1), (100.0, 0.9)])
+        assert t.at(99.9) == 0.1
+        assert t.at(100.0) == 0.9
+
+    def test_implicit_zero_start(self):
+        t = StepTrace([(50.0, 0.5)])
+        assert t.at(0.0) == 0.0
+        assert t.at(60.0) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepTrace([])
+
+    def test_level_bounds_validated(self):
+        with pytest.raises(ValueError):
+            StepTrace([(0.0, 1.5)])
+
+
+class TestDiurnalTrace:
+    def test_peak_at_peak_hour(self):
+        t = DiurnalTrace(low=0.1, high=0.9, peak_hour=14.0)
+        assert t.at(14 * 3600.0) == pytest.approx(0.9)
+
+    def test_trough_opposite_peak(self):
+        t = DiurnalTrace(low=0.1, high=0.9, peak_hour=14.0)
+        assert t.at(2 * 3600.0) == pytest.approx(0.1)
+
+    def test_bounded(self):
+        t = DiurnalTrace(low=0.05, high=0.95)
+        for v in sample_range(t):
+            assert 0.05 <= v <= 0.95
+
+    def test_periodicity(self):
+        t = DiurnalTrace()
+        assert t.at(1000.0) == pytest.approx(t.at(1000.0 + DAY_S))
+
+    def test_sharpness_narrows_peak(self):
+        gentle = DiurnalTrace(low=0.0, high=1.0, peak_hour=12.0, sharpness=1.0)
+        sharp = DiurnalTrace(low=0.0, high=1.0, peak_hour=12.0, sharpness=4.0)
+        off_peak = 8 * 3600.0
+        assert sharp.at(off_peak) < gentle.at(off_peak)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalTrace(low=0.8, high=0.2)
+        with pytest.raises(ValueError):
+            DiurnalTrace(period_s=-1)
+
+
+class TestSampledTrace:
+    def test_step_lookup(self):
+        t = SampledTrace([0.1, 0.5, 0.9], step_s=10.0)
+        assert t.at(0.0) == 0.1
+        assert t.at(15.0) == 0.5
+        assert t.at(29.9) == 0.9
+
+    def test_wraps_beyond_horizon(self):
+        t = SampledTrace([0.1, 0.5], step_s=10.0)
+        assert t.at(20.0) == 0.1
+        assert t.at(35.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SampledTrace([], step_s=10.0)
+        with pytest.raises(ValueError):
+            SampledTrace([1.5], step_s=10.0)
+        with pytest.raises(ValueError):
+            SampledTrace([0.5], step_s=0.0)
+
+
+class TestBurstyTrace:
+    def test_deterministic_given_seed(self):
+        a = BurstyTrace(seed=42)
+        b = BurstyTrace(seed=42)
+        assert sample_range(a) == sample_range(b)
+
+    def test_different_seeds_differ(self):
+        a = BurstyTrace(seed=1)
+        b = BurstyTrace(seed=2)
+        assert sample_range(a) != sample_range(b)
+
+    def test_values_are_base_or_burst(self):
+        t = BurstyTrace(seed=7, base=0.1, burst=0.8)
+        for v in sample_range(t, horizon=2 * DAY_S):
+            assert v in (pytest.approx(0.1), pytest.approx(0.8))
+
+    def test_bursts_actually_occur(self):
+        t = BurstyTrace(seed=3, base=0.1, burst=0.9, mean_gap_s=3600.0)
+        values = sample_range(t, horizon=2 * DAY_S, step=60.0)
+        assert any(v > 0.5 for v in values)
+        assert any(v < 0.5 for v in values)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            BurstyTrace(seed=0, base=0.9, burst=0.1)
+
+
+class TestSpikeTrace:
+    def test_mostly_base(self):
+        t = SpikeTrace(seed=5, base=0.05, spikes_per_day=4.0)
+        values = sample_range(t, horizon=2 * DAY_S, step=60.0)
+        base_count = sum(1 for v in values if v == pytest.approx(0.05))
+        assert base_count > 0.8 * len(values)
+
+    def test_deterministic(self):
+        assert sample_range(SpikeTrace(seed=9)) == sample_range(SpikeTrace(seed=9))
+
+
+class TestNoisyTrace:
+    def test_stays_in_bounds(self):
+        t = NoisyTrace(FlatTrace(0.5), seed=11, sigma=0.3)
+        for v in sample_range(t, horizon=2 * DAY_S):
+            assert 0.0 <= v <= 1.0
+
+    def test_tracks_inner_mean(self):
+        t = NoisyTrace(FlatTrace(0.5), seed=11, sigma=0.05, horizon_s=DAY_S)
+        assert t.mean(DAY_S) == pytest.approx(0.5, abs=0.02)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyTrace(FlatTrace(0.5), seed=0, sigma=-0.1)
+
+
+class TestCompositeAndScaled:
+    def test_weighted_sum(self):
+        t = CompositeTrace([(0.5, FlatTrace(0.4)), (0.5, FlatTrace(0.8))])
+        assert t.at(0.0) == pytest.approx(0.6)
+
+    def test_clamped_to_one(self):
+        t = CompositeTrace([(1.0, FlatTrace(0.8)), (1.0, FlatTrace(0.8))])
+        assert t.at(0.0) == 1.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeTrace([(-0.5, FlatTrace(0.4))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeTrace([])
+
+    def test_scaled(self):
+        t = ScaledTrace(FlatTrace(0.4), 0.5)
+        assert t.at(0.0) == pytest.approx(0.2)
+
+    def test_scaled_clamps(self):
+        t = ScaledTrace(FlatTrace(0.8), 2.0)
+        assert t.at(0.0) == 1.0
+
+    def test_scaled_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ScaledTrace(FlatTrace(0.5), -1.0)
