@@ -1,0 +1,131 @@
+"""Wall-clock benchmark for the parallel scenario execution layer.
+
+Times the standard 4-policy comparison (the workload behind F5/F6/T3)
+three ways and records the results in ``BENCH_parallel.json`` at the
+repository root:
+
+1. **serial** — plain ``run_scenario`` loop, no cache (the seed code
+   path, now running on the optimized hot path);
+2. **parallel cold** — ``run_scenarios(workers=4)`` against an empty
+   result cache;
+3. **parallel warm** — the same call again, fully served from the cache.
+
+It also asserts that parallel and serial runs produce identical reports.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import (
+    ResultCache,
+    ScenarioSpec,
+    always_on,
+    hybrid_policy,
+    run_scenario,
+    run_scenarios,
+    s3_policy,
+    s5_policy,
+)
+from repro.workload import FleetSpec
+
+#: Serial wall-clock of this exact comparison measured at the seed commit
+#: (2bbd8b6, pre-optimization) on the 1-core dev container — the fixed
+#: reference the ≥2× acceptance bar is checked against.
+SEED_SERIAL_REFERENCE_S = 10.89
+
+WORKERS = 4
+EVAL_HOSTS = 16
+EVAL_HORIZON_S = 48 * 3600.0
+EVAL_SEED = 2013
+
+
+def eval_specs():
+    fleet = FleetSpec(
+        n_vms=64, horizon_s=EVAL_HORIZON_S, shared_fraction=0.3
+    )
+    kwargs = dict(
+        n_hosts=EVAL_HOSTS,
+        horizon_s=EVAL_HORIZON_S,
+        seed=EVAL_SEED,
+        fleet_spec=fleet,
+    )
+    configs = [always_on(), s5_policy(), s3_policy(), hybrid_policy()]
+    return configs, [ScenarioSpec(cfg, kwargs=dict(kwargs)) for cfg in configs]
+
+
+def main() -> int:
+    configs, specs = eval_specs()
+    kwargs = specs[0].kwargs
+
+    t0 = time.perf_counter()
+    serial_reports = [
+        run_scenario(cfg, **dict(kwargs)).report for cfg in configs
+    ]
+    serial_s = time.perf_counter() - t0
+    print("serial ({} scenarios):      {:.3f} s".format(len(specs), serial_s))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        cold = run_scenarios(eval_specs()[1], workers=WORKERS, cache=cache)
+        parallel_cold_s = time.perf_counter() - t0
+        print("parallel cold (workers={}): {:.3f} s".format(WORKERS, parallel_cold_s))
+
+        t0 = time.perf_counter()
+        warm = run_scenarios(
+            eval_specs()[1], workers=WORKERS, cache=ResultCache(tmp)
+        )
+        parallel_warm_s = time.perf_counter() - t0
+        print("parallel warm (cache hit):  {:.3f} s".format(parallel_warm_s))
+
+    identical = all(
+        a.report.to_dict() == b.to_dict() for a, b in zip(cold, serial_reports)
+    ) and all(
+        a.report.to_dict() == b.report.to_dict() for a, b in zip(warm, cold)
+    )
+    print("parallel == serial reports: {}".format(identical))
+
+    payload = {
+        "scenarios": len(specs),
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "eval": {
+            "n_hosts": EVAL_HOSTS,
+            "n_vms": 64,
+            "horizon_s": EVAL_HORIZON_S,
+            "seed": EVAL_SEED,
+        },
+        "seed_serial_reference_s": SEED_SERIAL_REFERENCE_S,
+        "serial_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_cold_s, 3),
+        "parallel_warm_s": round(parallel_warm_s, 3),
+        "speedup_parallel_vs_seed": round(
+            SEED_SERIAL_REFERENCE_S / parallel_cold_s, 2
+        ),
+        "speedup_serial_vs_seed": round(SEED_SERIAL_REFERENCE_S / serial_s, 2),
+        "warm_cache_under_1s": parallel_warm_s < 1.0,
+        "parallel_matches_serial": identical,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print("wrote {}".format(out))
+
+    ok = (
+        identical
+        and parallel_warm_s < 1.0
+        and SEED_SERIAL_REFERENCE_S / parallel_cold_s >= 2.0
+    )
+    print("acceptance: {}".format("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,14 @@ Run with::
 
 import pytest
 
-from repro.core import always_on, hybrid_policy, run_scenario, s3_policy, s5_policy
+from repro.core import (
+    ScenarioSpec,
+    always_on,
+    hybrid_policy,
+    run_scenarios,
+    s3_policy,
+    s5_policy,
+)
 from repro.workload import FleetSpec
 
 #: Standard evaluation scenario shared by the policy-comparison benches.
@@ -34,8 +41,16 @@ def eval_fleet_spec(**overrides):
     return FleetSpec(**defaults)
 
 
-def run_policy_comparison(configs=None, fleet_spec=None, **scenario_kwargs):
-    """Run the given policies on the shared scenario; returns name→result."""
+def run_policy_comparison(configs=None, fleet_spec=None, workers=None,
+                          cache=True, **scenario_kwargs):
+    """Run the given policies on the shared scenario; returns name→artifacts.
+
+    Executes through :func:`repro.core.run_scenarios`: the policies fan
+    out over a process pool (``REPRO_WORKERS`` controls the width) and
+    repeated scenarios — e.g. the ``AlwaysOn`` baseline shared by several
+    benchmark modules — are served from the disk result cache instead of
+    re-simulated (set ``REPRO_NO_CACHE=1`` to force fresh runs).
+    """
     configs = configs or [always_on(), s5_policy(), s3_policy(), hybrid_policy()]
     kwargs = dict(
         n_hosts=EVAL_HOSTS,
@@ -44,7 +59,9 @@ def run_policy_comparison(configs=None, fleet_spec=None, **scenario_kwargs):
         fleet_spec=fleet_spec or eval_fleet_spec(),
     )
     kwargs.update(scenario_kwargs)
-    return {cfg.name: run_scenario(cfg, **kwargs) for cfg in configs}
+    specs = [ScenarioSpec(cfg, kwargs=dict(kwargs)) for cfg in configs]
+    artifacts = run_scenarios(specs, workers=workers, cache=cache)
+    return {spec.name: art for spec, art in zip(specs, artifacts)}
 
 
 @pytest.fixture

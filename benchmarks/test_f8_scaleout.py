@@ -5,25 +5,35 @@ simulations show the same savings/overhead envelope as the cluster grows.
 """
 
 from repro.analysis import render_table
-from repro.core import always_on, run_scenario, s3_policy
+from repro.core import ScenarioSpec, always_on, run_scenarios, s3_policy
 from repro.workload import FleetSpec
 
 SIZES = [10, 25, 50, 100]
 HORIZON = 24 * 3600.0
 
 
-def compute_f8():
-    rows = []
+def f8_specs():
+    """The whole sweep as one flat spec list: (base, pm) per size."""
+    specs = []
     for n_hosts in SIZES:
-        spec = FleetSpec(
-            n_vms=4 * n_hosts, horizon_s=HORIZON, shared_fraction=0.3
+        fleet = FleetSpec(n_vms=4 * n_hosts, horizon_s=HORIZON, shared_fraction=0.3)
+        kwargs = dict(n_hosts=n_hosts, horizon_s=HORIZON, seed=5, fleet_spec=fleet)
+        specs.append(
+            ScenarioSpec(always_on(), kwargs=dict(kwargs),
+                         label="base-{}".format(n_hosts))
         )
-        base = run_scenario(
-            always_on(), n_hosts=n_hosts, horizon_s=HORIZON, seed=5, fleet_spec=spec
+        specs.append(
+            ScenarioSpec(s3_policy(), kwargs=dict(kwargs),
+                         label="pm-{}".format(n_hosts))
         )
-        pm = run_scenario(
-            s3_policy(), n_hosts=n_hosts, horizon_s=HORIZON, seed=5, fleet_spec=spec
-        )
+    return specs
+
+
+def compute_f8():
+    results = run_scenarios(f8_specs())
+    rows = []
+    for i, n_hosts in enumerate(SIZES):
+        base, pm = results[2 * i], results[2 * i + 1]
         rows.append(
             {
                 "hosts": n_hosts,
@@ -36,6 +46,23 @@ def compute_f8():
             }
         )
     return rows
+
+
+def test_f8_smoke():
+    """Tiny scale-out point for CI — the full sweep takes minutes."""
+    horizon = 6 * 3600.0
+    fleet = FleetSpec(n_vms=24, horizon_s=horizon, shared_fraction=0.3)
+    kwargs = dict(n_hosts=6, horizon_s=horizon, seed=5, fleet_spec=fleet)
+    base, pm = run_scenarios(
+        [
+            ScenarioSpec(always_on(), kwargs=dict(kwargs), label="base"),
+            ScenarioSpec(s3_policy(), kwargs=dict(kwargs), label="pm"),
+        ],
+        workers=2,
+        cache=False,
+    )
+    assert pm.report.energy_kwh < base.report.energy_kwh
+    assert pm.report.violation_fraction < 0.05
 
 
 def test_f8_scaleout(once):

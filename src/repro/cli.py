@@ -4,8 +4,14 @@ Gives operators the paper's experiments without writing Python::
 
     python -m repro.cli characterize
     python -m repro.cli run --policy S3-PM --hosts 16 --vms 64 --hours 24
-    python -m repro.cli compare --hosts 12 --vms 48 --hours 24
+    python -m repro.cli compare --hosts 12 --vms 48 --hours 24 --workers 4
     python -m repro.cli policies
+    python -m repro.cli cache info
+
+Comparisons fan out over a process pool (``--workers``) and memoize
+finished scenarios in the disk result cache (disable per-invocation with
+``--no-cache``, globally with ``REPRO_NO_CACHE=1``).  ``--profile``
+prints a cProfile hot-spot table for the in-process run.
 """
 
 from __future__ import annotations
@@ -13,10 +19,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import render_series, render_table
-from repro.core import run_scenario
+from repro.core import ResultCache, ScenarioSpec, run_scenario, run_scenarios
+from repro.core.cache import default_cache_dir
 from repro.core.policies import POLICIES, policy_by_name
 from repro.datacenter import FaultModel
 from repro.prototype import (
@@ -65,6 +73,12 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="emit the report(s) as JSON instead of a table",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile hot-spot table to stderr (forces in-process "
+        "serial execution)",
+    )
 
 
 def _scenario_kwargs(args: argparse.Namespace) -> dict:
@@ -94,9 +108,32 @@ def _print_timeline(result) -> None:
         print(render_series(result.sampler.series[name].points(), name=name))
 
 
+def _profiled(fn):
+    """Run ``fn()`` under cProfile; print hot spots + wall time to stderr."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    out = fn()
+    profiler.disable()
+    elapsed = time.perf_counter() - started
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
+    print(buf.getvalue(), file=sys.stderr)
+    print("wall-clock: {:.3f} s".format(elapsed), file=sys.stderr)
+    return out
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = policy_by_name(args.policy)
-    result = run_scenario(config, **_scenario_kwargs(args))
+    kwargs = _scenario_kwargs(args)
+    if args.profile:
+        result = _profiled(lambda: run_scenario(config, **kwargs))
+    else:
+        result = run_scenario(config, **kwargs)
     if args.json:
         print(json.dumps(result.report.to_dict(), indent=2, sort_keys=True))
         return 0
@@ -112,10 +149,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     names = args.policies.split(",") if args.policies else [
         "AlwaysOn", "S5-PM", "S3-PM", "Hybrid",
     ]
-    reports = []
-    for name in names:
-        result = run_scenario(policy_by_name(name.strip()), **kwargs)
-        reports.append(result.report)
+    specs = [
+        ScenarioSpec(policy_by_name(name.strip()), kwargs=dict(kwargs))
+        for name in names
+    ]
+    workers = 1 if args.profile else args.workers
+    runner = lambda: run_scenarios(  # noqa: E731
+        specs, workers=workers, cache=not args.no_cache
+    )
+    results = _profiled(runner) if args.profile else runner()
+    reports = [artifacts.report for artifacts in results]
     if args.json:
         print(
             json.dumps(
@@ -187,6 +230,19 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed {} cached result(s) from {}".format(removed, cache.root))
+        return 0
+    entries = list(cache.entries())
+    print("cache dir: {}".format(default_cache_dir()))
+    print("entries:   {}".format(len(entries)))
+    print("size:      {:.1f} KiB".format(cache.size_bytes() / 1024.0))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,8 +266,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated preset names (default: the standard four)",
     )
+    compare_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for the comparison (default: REPRO_WORKERS "
+        "or the CPU count)",
+    )
+    compare_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the scenario result cache",
+    )
     _add_scenario_args(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the scenario result cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=["info", "clear"],
+        nargs="?",
+        default="info",
+        help="info: show location/entries/size; clear: delete every entry",
+    )
+    cache_parser.set_defaults(func=cmd_cache)
 
     char_parser = sub.add_parser(
         "characterize", help="print the power-state characterization tables"

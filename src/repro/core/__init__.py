@@ -34,6 +34,13 @@ from repro.core.policies import (
     s5_policy,
 )
 from repro.core.runner import ScenarioResult, run_scenario
+from repro.core.cache import ResultCache, Uncacheable, scenario_digest
+from repro.core.parallel import (
+    ScenarioArtifacts,
+    ScenarioSpec,
+    run_scenarios,
+    snapshot_result,
+)
 
 __all__ = [
     "DemandPredictor",
@@ -45,12 +52,19 @@ __all__ = [
     "POLICIES",
     "PowerAwareManager",
     "ReactivePredictor",
+    "ResultCache",
+    "ScenarioArtifacts",
     "ScenarioResult",
+    "ScenarioSpec",
+    "Uncacheable",
     "always_on",
     "hybrid_policy",
     "make_predictor",
     "policy_by_name",
     "run_scenario",
+    "run_scenarios",
     "s3_policy",
     "s5_policy",
+    "scenario_digest",
+    "snapshot_result",
 ]

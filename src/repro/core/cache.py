@@ -1,0 +1,242 @@
+"""Disk-backed scenario result cache.
+
+Benchmark modules re-run identical scenarios constantly — every
+policy-comparison figure recomputes the same ``AlwaysOn`` baseline, and a
+repeated sweep re-simulates every point.  This module memoizes finished
+runs on disk, keyed by a *content hash* of everything that determines the
+outcome:
+
+* the policy :class:`~repro.core.config.ManagerConfig` (all fields),
+* every ``run_scenario`` keyword argument (fleet spec, seed, horizon …),
+* the installed package version (:data:`repro.__version__`) and a cache
+  schema number.
+
+The key is built from a canonical JSON encoding, so two configs with the
+same values always hash identically regardless of construction order.
+Anything that cannot be canonically encoded (e.g. a hand-built VM list
+with custom trace callables) raises :class:`Uncacheable` — such scenarios
+still *run*, they just skip the cache.
+
+Invalidation rules:
+
+* bumping ``repro.__version__`` or :data:`CACHE_SCHEMA` invalidates every
+  entry (stale entries are simply never looked up again);
+* ``ResultCache.clear()`` (or ``repro cache clear``) deletes everything;
+* the ``REPRO_NO_CACHE`` environment variable disables lookups entirely;
+* ``REPRO_CACHE_DIR`` relocates the cache (default
+  ``~/.cache/repro-sim``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+#: Bump to invalidate every cached result after a format change.
+CACHE_SCHEMA = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_NO_CACHE"
+
+
+class Uncacheable(TypeError):
+    """The scenario contains state that has no canonical encoding."""
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports repro.core, which imports
+    # this module — a top-level import would be circular.
+    import repro
+
+    return repro.__version__
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-encodable canonical form.
+
+    Supports the building blocks scenario descriptions are made of:
+    scalars, strings, lists/tuples, string-keyed dicts, enums, dataclasses
+    and numpy scalars/arrays.  Raises :class:`Uncacheable` for anything
+    else (bound methods, generators, custom objects …).
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return {
+            "__enum__": "{}.{}".format(type(obj).__module__, type(obj).__qualname__),
+            "name": obj.name,
+        }
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": "{}.{}".format(
+                type(obj).__module__, type(obj).__qualname__
+            ),
+            "fields": {
+                f.name: canonical(getattr(obj, f.name)) for f in fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        encoded = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                # Enum / tuple keys (e.g. a transition table keyed by
+                # (src, dst) states) serialize via their canonical form.
+                key = json.dumps(canonical(key), sort_keys=True)
+            encoded[key] = canonical(value)
+        return {"__dict__": encoded}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [canonical(item) for item in obj]
+        if isinstance(obj, (set, frozenset)):
+            items = sorted(items, key=lambda it: json.dumps(it, sort_keys=True))
+        return items
+    try:  # numpy scalars / arrays, without a hard numpy dependency here
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            return obj.item()
+        if isinstance(obj, np.ndarray):
+            return [canonical(item) for item in obj.tolist()]
+    except ImportError:  # pragma: no cover
+        pass
+    # Pure-value objects (power models, traces without RNG state …):
+    # encode class + instance dict if every attribute encodes cleanly.
+    # Classes can exclude derived/memo attributes via ``__cache_ignore__``.
+    state = getattr(obj, "__dict__", None)
+    if isinstance(state, dict) and state:
+        ignore = frozenset(getattr(type(obj), "__cache_ignore__", ()))
+        try:
+            return {
+                "__object__": "{}.{}".format(
+                    type(obj).__module__, type(obj).__qualname__
+                ),
+                "state": {
+                    name: canonical(value)
+                    for name, value in sorted(state.items())
+                    if name not in ignore
+                },
+            }
+        except Uncacheable:
+            pass
+    raise Uncacheable(
+        "{!r} ({}) has no canonical encoding; pass picklable dataclasses, "
+        "scalars and containers, or disable caching for this scenario".format(
+            obj, type(obj).__name__
+        )
+    )
+
+
+def scenario_digest(config: Any, kwargs: Dict[str, Any]) -> str:
+    """Content hash identifying one ``run_scenario(config, **kwargs)`` call."""
+    try:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": _package_version(),
+            "config": canonical(config),
+            "kwargs": canonical(kwargs),
+        }
+    except RecursionError:
+        raise Uncacheable("scenario description contains reference cycles")
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_disabled() -> bool:
+    """True when the environment kill-switch is set."""
+    return bool(os.environ.get(_ENV_DISABLE))
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (``REPRO_CACHE_DIR`` overrides)."""
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro-sim"
+
+
+class ResultCache:
+    """Pickle-per-entry disk cache with an in-process read-through layer."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self._memory: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / "{}.pkl".format(key)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key``, or None."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, ImportError):
+            # Missing, torn, or written by an incompatible code version:
+            # treat as a miss (a stale entry keyed by an old version hash
+            # is unreachable anyway).
+            self.misses += 1
+            return None
+        self._memory[key] = value
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic rename, crash-safe)."""
+        self._memory[key] = value
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterable[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._memory.clear()
+        return removed
+
+    def __repr__(self) -> str:
+        return "<ResultCache {} entries at {}>".format(
+            len(list(self.entries())), self.root
+        )

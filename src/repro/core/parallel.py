@@ -1,0 +1,310 @@
+"""Parallel scenario execution with result caching.
+
+Every experiment in ``benchmarks/`` is a fan-out of independent
+``run_scenario`` calls (policy comparisons, latency sweeps, scale-out
+curves).  This module turns that implicit loop into an explicit, cacheable
+execution plan:
+
+* :class:`ScenarioSpec` — a picklable description of one ``run_scenario``
+  call (policy config + keyword arguments + a display label);
+* :class:`ScenarioArtifacts` — the picklable subset of a finished run
+  that experiments actually consume (report, sampler series, management
+  log, per-host power-state residency) — everything that can cross a
+  process boundary or live in the disk cache;
+* :func:`run_scenarios` — execute many specs, fanned out over a
+  ``ProcessPoolExecutor``, with order-stable results, digest-level
+  deduplication, and read-through caching via
+  :mod:`repro.core.cache`.
+
+Determinism: a spec's outcome depends only on its contents (all
+simulation RNGs are seeded from the spec), so serial and parallel
+execution produce byte-identical reports, and results are returned in
+spec order regardless of completion order.
+
+Typical use::
+
+    from repro.core import ScenarioSpec, run_scenarios, POLICIES
+
+    specs = [ScenarioSpec(cfg(), kwargs=dict(n_hosts=16, seed=7))
+             for cfg in (always_on, s3_policy)]
+    baseline, managed = run_scenarios(specs, workers=2)
+    print(managed.report.row())
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.core.cache import ResultCache, Uncacheable, cache_disabled, scenario_digest
+from repro.core.config import ManagerConfig
+from repro.datacenter.vm import Priority
+from repro.power.states import PowerState
+from repro.telemetry.metrics import SimReport
+from repro.telemetry.timeseries import TimeSeries
+
+
+# ----------------------------------------------------------------------
+# Picklable snapshots of a finished run
+# ----------------------------------------------------------------------
+
+
+class MachineSnapshot:
+    """Frozen power-state-machine statistics (residency, transitions)."""
+
+    def __init__(self, machine) -> None:
+        self.state: PowerState = machine.state
+        self.transition_counts = dict(machine.transition_counts)
+        self.transit_time_s: float = machine.transit_time_s
+        self._residency: Dict[PowerState, float] = {
+            state: machine.residency_s(state) for state in PowerState
+        }
+
+    def residency_s(self, state: PowerState) -> float:
+        return self._residency[state]
+
+
+class HostSnapshot:
+    """Frozen per-host facts: capacity, final state, energy, residency."""
+
+    def __init__(self, host) -> None:
+        self.name: str = host.name
+        self.cores: float = host.cores
+        self.mem_gb: float = host.mem_gb
+        self.vm_count: int = host.vm_count
+        self.out_of_service: bool = host.out_of_service
+        self.wake_failures: int = host.wake_failures
+        self.machine = MachineSnapshot(host.machine)
+        self._energy_j: float = host.energy_j()
+
+    @property
+    def state(self) -> PowerState:
+        return self.machine.state
+
+    def energy_j(self) -> float:
+        return self._energy_j
+
+
+class ClusterSnapshot:
+    """Frozen cluster inventory — supports the residency/energy analyses."""
+
+    def __init__(self, cluster) -> None:
+        self.hosts: List[HostSnapshot] = [HostSnapshot(h) for h in cluster.hosts]
+        self.vm_count: int = cluster.vm_count
+
+    def total_capacity_cores(self) -> float:
+        return sum(h.cores for h in self.hosts)
+
+    def energy_j(self) -> float:
+        return sum(h.energy_j() for h in self.hosts)
+
+
+class SamplerSnapshot:
+    """Frozen telemetry: the full series plus the violation integrals.
+
+    Mirrors the read API of :class:`~repro.telemetry.ClusterSampler`
+    (``series``, ``violation_fraction`` …) so analysis helpers accept
+    either a live sampler or a snapshot.
+    """
+
+    def __init__(self, sampler) -> None:
+        self.epoch_s: float = sampler.epoch_s
+        self.samples: int = sampler.samples
+        self.series: Dict[str, TimeSeries] = dict(sampler.series)
+        self.shortfall_core_s: float = sampler.shortfall_core_s
+        self.demand_core_s: float = sampler.demand_core_s
+        self.class_shortfall_core_s = dict(sampler.class_shortfall_core_s)
+        self.class_demand_core_s = dict(sampler.class_demand_core_s)
+        self._energy_kwh: float = sampler.energy_kwh()
+
+    @property
+    def violation_fraction(self) -> float:
+        if self.demand_core_s <= 0:
+            return 0.0
+        return self.shortfall_core_s / self.demand_core_s
+
+    @property
+    def violation_time_fraction(self) -> float:
+        return self.series["shortfall_cores"].fraction_above(1e-9)
+
+    def violation_fraction_by_class(self) -> Dict[Priority, float]:
+        result = {}
+        for priority in Priority:
+            demanded = self.class_demand_core_s[priority]
+            if demanded <= 0:
+                result[priority] = 0.0
+            else:
+                result[priority] = self.class_shortfall_core_s[priority] / demanded
+        return result
+
+    def energy_kwh(self) -> float:
+        return self._energy_kwh
+
+
+class ManagerSnapshot:
+    """Frozen management outcome: the action ledger and end-state counters."""
+
+    def __init__(self, manager) -> None:
+        self.log = manager.log
+        self.pending_admissions: int = manager.pending_admissions
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Everything a benchmark consumes from a run, in picklable form."""
+
+    report: SimReport
+    sampler: SamplerSnapshot
+    cluster: ClusterSnapshot
+    manager: ManagerSnapshot
+
+
+def snapshot_result(result) -> ScenarioArtifacts:
+    """Freeze a live :class:`~repro.core.ScenarioResult` into artifacts."""
+    return ScenarioArtifacts(
+        report=result.report,
+        sampler=SamplerSnapshot(result.sampler),
+        cluster=ClusterSnapshot(result.cluster),
+        manager=ManagerSnapshot(result.manager),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario specs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioSpec:
+    """One ``run_scenario(config, **kwargs)`` call, as data.
+
+    ``kwargs`` must be picklable (it crosses the process boundary).  For
+    the result to be *cacheable* it must additionally have a canonical
+    encoding — seeds, fleet specs, profiles and fault models all qualify;
+    hand-built VM lists with live trace objects run fine but bypass the
+    cache.
+    """
+
+    config: ManagerConfig
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None else self.config.name
+
+    def digest(self) -> str:
+        """Content hash for caching; raises ``Uncacheable`` when impossible."""
+        return scenario_digest(self.config, self.kwargs)
+
+    def run(self) -> ScenarioArtifacts:
+        """Execute the scenario in this process and freeze the outcome."""
+        from repro.core.runner import run_scenario
+
+        return snapshot_result(run_scenario(self.config, **self.kwargs))
+
+
+def _execute_spec(spec: ScenarioSpec) -> ScenarioArtifacts:
+    """Module-level worker entry point (must be picklable by name)."""
+    return spec.run()
+
+
+# ----------------------------------------------------------------------
+# The execution layer
+# ----------------------------------------------------------------------
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: ``REPRO_WORKERS`` env or CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def _resolve_cache(
+    cache: Union[None, bool, ResultCache]
+) -> Optional[ResultCache]:
+    if cache is False or cache is None:
+        return None
+    if cache_disabled():
+        return None
+    if isinstance(cache, ResultCache):
+        return cache
+    return ResultCache()
+
+
+def run_scenarios(
+    specs: Iterable[ScenarioSpec],
+    workers: Optional[int] = None,
+    cache: Union[None, bool, ResultCache] = True,
+) -> List[ScenarioArtifacts]:
+    """Run every spec; return artifacts in spec order.
+
+    Args:
+        specs: scenario descriptions (order defines result order).
+        workers: process count; ``None`` uses :func:`default_workers`,
+            ``1`` runs inline (no pool, no pickling).
+        cache: ``True`` (default) uses the shared disk cache, ``False`` /
+            ``None`` disables caching, or pass a :class:`ResultCache` to
+            control the location.  The ``REPRO_NO_CACHE`` environment
+            variable force-disables it.
+
+    Identical specs (same digest) are simulated once and the artifacts
+    shared.  Results are deterministic: the pool only changes *where*
+    each simulation runs, never its seeded RNG streams, and ordering is
+    by spec position, not completion time.
+    """
+    specs = list(specs)
+    store = _resolve_cache(cache)
+    results: List[Optional[ScenarioArtifacts]] = [None] * len(specs)
+    digests: List[Optional[str]] = [None] * len(specs)
+
+    for i, spec in enumerate(specs):
+        if not isinstance(spec, ScenarioSpec):
+            raise TypeError("run_scenarios takes ScenarioSpec items, got {!r}".format(spec))
+        try:
+            digests[i] = spec.digest()
+        except Uncacheable:
+            digests[i] = None
+        if store is not None and digests[i] is not None:
+            results[i] = store.get(digests[i])
+
+    # Dedup misses by digest: the first position owns the computation.
+    owner_of: Dict[str, int] = {}
+    to_run: List[int] = []
+    for i in range(len(specs)):
+        if results[i] is not None:
+            continue
+        d = digests[i]
+        if d is not None and d in owner_of:
+            continue
+        if d is not None:
+            owner_of[d] = i
+        to_run.append(i)
+
+    if to_run:
+        n_workers = default_workers() if workers is None else max(1, workers)
+        n_workers = min(n_workers, len(to_run))
+        if n_workers <= 1:
+            computed = [_execute_spec(specs[i]) for i in to_run]
+        else:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                computed = list(pool.map(_execute_spec, [specs[i] for i in to_run]))
+        for i, artifacts in zip(to_run, computed):
+            results[i] = artifacts
+            if store is not None and digests[i] is not None:
+                store.put(digests[i], artifacts)
+
+    # Fill duplicate positions from their owners.
+    for i in range(len(specs)):
+        if results[i] is None and digests[i] is not None:
+            results[i] = results[owner_of[digests[i]]]
+
+    assert all(r is not None for r in results)
+    return results

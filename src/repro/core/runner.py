@@ -44,6 +44,37 @@ class ScenarioResult:
     churn: Optional[ChurnGenerator] = None
 
 
+def _placement_failure(vm: VM, cluster: Cluster) -> str:
+    """Explain *why* no host can take ``vm`` — name the failed constraint."""
+    active = [h for h in cluster.hosts if h.is_active]
+    if not active:
+        return (
+            "fleet does not fit: {} cannot be placed — no host is ACTIVE "
+            "(cluster states: {})".format(
+                vm.name,
+                ", ".join(sorted({h.state.value for h in cluster.hosts})),
+            )
+        )
+    group = vm.anti_affinity_group
+    mem_ok = [h for h in active if vm.mem_gb <= h.mem_free_gb + 1e-9]
+    if not mem_ok:
+        max_free = max(h.mem_free_gb for h in active)
+        return (
+            "fleet does not fit: {} needs {:g} GB but the best active host "
+            "has only {:g} GB free".format(vm.name, vm.mem_gb, max_free)
+        )
+    if group is not None:
+        return (
+            "fleet does not fit: {} belongs to anti-affinity group {!r}, "
+            "which already occupies every active host with {:g} GB free "
+            "({} candidate(s))".format(vm.name, group, vm.mem_gb, len(mem_ok))
+        )
+    return (
+        "fleet does not fit: {} ({:g} vCPU, {:g} GB) was rejected by every "
+        "active host".format(vm.name, vm.vcpus, vm.mem_gb)
+    )
+
+
 def spread_placement(vms: List[VM], cluster: Cluster) -> None:
     """Initial worst-fit placement: spread VMs as a balanced DRM cluster.
 
@@ -52,13 +83,9 @@ def spread_placement(vms: List[VM], cluster: Cluster) -> None:
     """
     budgets = {h.name: h.cores for h in cluster.hosts}
     for vm in sorted(vms, key=lambda v: v.vcpus, reverse=True):
-        candidates = [h for h in cluster.hosts if h.fits(vm)]
+        candidates = [h for h in cluster.hosts if h.is_active and h.fits(vm)]
         if not candidates:
-            raise RuntimeError(
-                "fleet does not fit: {} has no host with {} GB free".format(
-                    vm.name, vm.mem_gb
-                )
-            )
+            raise RuntimeError(_placement_failure(vm, cluster))
         host = max(candidates, key=lambda h: budgets[h.name])
         cluster.add_vm(vm, host)
         budgets[host.name] -= vm.vcpus

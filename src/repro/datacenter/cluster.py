@@ -98,6 +98,14 @@ class Cluster:
     def vms(self) -> List[VM]:
         return list(self._vms.values())
 
+    @property
+    def vm_count(self) -> int:
+        return len(self._vms)
+
+    def iter_vms(self) -> "Iterable[VM]":
+        """Iterate resident VMs without copying the registry (hot path)."""
+        return self._vms.values()
+
     def add_vm(self, vm: VM, host: Host) -> None:
         """Admit ``vm`` into the cluster on ``host``."""
         if vm.name in self._vms:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.datacenter.faults import FaultInjector, FaultModel
-from repro.datacenter.vm import VM
+from repro.datacenter.vm import Priority, VM
 from repro.power.dvfs import DvfsModel
 from repro.power.machine import HostPowerStateMachine
 from repro.power.profiles import ServerPowerProfile
@@ -72,6 +72,11 @@ class Host:
         if not 0.0 < dvfs_target <= 1.0:
             raise ValueError("dvfs_target must be in (0, 1]")
         self.vms: Dict[str, VM] = {}
+        # Incremental capacity accounting, maintained by place()/remove()
+        # so the mem_used_gb / vcpus_committed properties are O(1) instead
+        # of an O(VMs) sum on every placement probe.
+        self._mem_used_gb = 0.0
+        self._vcpus_committed = 0.0
         #: Extra cores consumed by in-flight migrations (source+dest tax).
         self.migration_tax_cores = 0.0
         #: Memory held for inbound migrations, counted against mem_free_gb.
@@ -120,7 +125,7 @@ class Host:
 
     @property
     def mem_used_gb(self) -> float:
-        return sum(vm.mem_gb for vm in self.vms.values())
+        return self._mem_used_gb
 
     @property
     def mem_free_gb(self) -> float:
@@ -132,7 +137,7 @@ class Host:
 
     @property
     def vcpus_committed(self) -> float:
-        return sum(vm.vcpus for vm in self.vms.values())
+        return self._vcpus_committed
 
     @property
     def vm_count(self) -> int:
@@ -185,12 +190,22 @@ class Host:
                 "{} does not fit: {}".format(vm.name, reason)
             )
         self.vms[vm.name] = vm
+        self._mem_used_gb += vm.mem_gb
+        self._vcpus_committed += vm.vcpus
         vm.host = self
 
     def remove(self, vm: VM) -> None:
         """Unbind ``vm`` from this host."""
         if self.vms.pop(vm.name, None) is None:
             raise KeyError("{} is not on {}".format(vm.name, self.name))
+        if self.vms:
+            self._mem_used_gb -= vm.mem_gb
+            self._vcpus_committed -= vm.vcpus
+        else:
+            # Snap back to exactly zero so float error cannot accumulate
+            # across long place/remove (migration) sequences.
+            self._mem_used_gb = 0.0
+            self._vcpus_committed = 0.0
         vm.host = None
 
     # ------------------------------------------------------------------
@@ -212,8 +227,6 @@ class Host:
         BRONZE in order until capacity runs out.  A parked host with VMs
         delivers nothing.
         """
-        from repro.datacenter.vm import Priority
-
         demand_per_class: Dict[Priority, float] = {p: 0.0 for p in Priority}
         for vm in self.vms.values():
             demand_per_class[vm.priority] += vm.demand_cores(t)

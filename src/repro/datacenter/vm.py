@@ -31,6 +31,10 @@ class VM:
         priority: service class (default BRONZE — lowest).
     """
 
+    #: Derived/runtime state the scenario cache must not hash: the demand
+    #: memo is a pure cache, and ``host`` binding is an execution outcome.
+    __cache_ignore__ = ("_demand_at_t", "_demand_value", "host", "migrating")
+
     def __init__(
         self,
         name: str,
@@ -58,15 +62,25 @@ class VM:
         self.dirty_rate_gbps = 0.05
         #: Cumulative count of completed migrations of this VM.
         self.migration_count = 0
+        # Demand memo: traces are deterministic in t, and within one epoch
+        # the sampler, watchdog and consolidation loops all ask for demand
+        # at the same instant — evaluate the trace once per distinct t.
+        self._demand_at_t: Optional[float] = None
+        self._demand_value = 0.0
 
     def demand_cores(self, t: float) -> float:
         """CPU demand at time ``t``, in cores (clamped to [0, vcpus])."""
+        if t == self._demand_at_t:
+            return self._demand_value
         fraction = self.trace.at(t)
         if fraction < 0:
             raise ValueError(
                 "trace for {} returned negative demand {}".format(self.name, fraction)
             )
-        return min(fraction, 1.0) * self.vcpus
+        value = min(fraction, 1.0) * self.vcpus
+        self._demand_at_t = t
+        self._demand_value = value
+        return value
 
     @property
     def placed(self) -> bool:

@@ -1,0 +1,154 @@
+"""Tests for the parallel scenario execution layer (repro.core.parallel)."""
+
+import pytest
+
+from repro.core import (
+    ResultCache,
+    ScenarioArtifacts,
+    ScenarioSpec,
+    always_on,
+    run_scenario,
+    run_scenarios,
+    s3_policy,
+    snapshot_result,
+)
+from repro.datacenter.vm import Priority
+from repro.power.states import PowerState
+from repro.workload import FleetSpec
+
+#: Small-but-nontrivial scenario: parking and waking both happen.
+KW = dict(
+    n_hosts=4,
+    horizon_s=4 * 3600.0,
+    seed=11,
+    fleet_spec=FleetSpec(n_vms=10, horizon_s=4 * 3600.0, shared_fraction=0.3),
+)
+
+
+def small_spec(policy=s3_policy, label=None):
+    return ScenarioSpec(policy(), kwargs=dict(KW), label=label)
+
+
+class TestDeterminism:
+    def test_same_seed_serial_runs_identical(self):
+        a = run_scenario(s3_policy(), **KW)
+        b = run_scenario(s3_policy(), **KW)
+        assert a.report.to_dict() == b.report.to_dict()
+
+    def test_serial_vs_parallel_identical(self):
+        serial = run_scenario(s3_policy(), **KW)
+        (parallel,) = run_scenarios(
+            [small_spec()], workers=2, cache=False
+        )
+        assert parallel.report.to_dict() == serial.report.to_dict()
+
+    def test_parallel_pool_matches_inline(self):
+        specs = [small_spec(always_on), small_spec(s3_policy)]
+        inline = run_scenarios(specs, workers=1, cache=False)
+        pooled = run_scenarios(
+            [small_spec(always_on), small_spec(s3_policy)],
+            workers=2,
+            cache=False,
+        )
+        for a, b in zip(inline, pooled):
+            assert a.report.to_dict() == b.report.to_dict()
+
+    def test_results_are_order_stable(self):
+        specs = [small_spec(s3_policy), small_spec(always_on)]
+        results = run_scenarios(specs, workers=2, cache=False)
+        assert [r.report.policy for r in results] == ["S3-PM", "AlwaysOn"]
+
+
+class TestCachingBehavior:
+    def test_second_call_hits_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_scenarios([small_spec()], workers=1, cache=cache)
+        assert cache.hits == 0
+        second = run_scenarios([small_spec()], workers=1, cache=cache)
+        assert cache.hits == 1
+        assert first[0].report.to_dict() == second[0].report.to_dict()
+
+    def test_cold_cache_across_instances(self, tmp_path):
+        run_scenarios([small_spec()], workers=1, cache=ResultCache(tmp_path))
+        fresh = ResultCache(tmp_path)
+        run_scenarios([small_spec()], workers=1, cache=fresh)
+        assert fresh.hits == 1
+
+    def test_duplicate_specs_simulated_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        results = run_scenarios(
+            [small_spec(), small_spec()], workers=1, cache=cache
+        )
+        assert results[0] is results[1]
+        assert len(list(cache.entries())) == 1
+
+    def test_env_kill_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = ResultCache(tmp_path)
+        run_scenarios([small_spec()], workers=1, cache=cache)
+        assert list(cache.entries()) == []
+
+    def test_uncacheable_spec_still_runs(self, tmp_path):
+        from repro.workload.fleet import build_fleet
+        from tests.test_core_cache import OpaqueTrace
+
+        fleet = build_fleet(FleetSpec(n_vms=6, horizon_s=3600.0), seed=3)
+        # A trace holding live RNG state has no canonical encoding, so
+        # this scenario must run but bypass the cache.
+        fleet[0].trace = OpaqueTrace()
+        spec = ScenarioSpec(
+            s3_policy(),
+            kwargs=dict(n_hosts=3, horizon_s=3600.0, seed=3, fleet=fleet),
+        )
+        cache = ResultCache(tmp_path)
+        (result,) = run_scenarios([spec], workers=1, cache=cache)
+        assert result.report.energy_kwh > 0
+        assert list(cache.entries()) == []
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError):
+            run_scenarios([s3_policy()], cache=False)
+
+
+class TestArtifacts:
+    def test_snapshot_mirrors_live_result(self):
+        live = run_scenario(s3_policy(), **KW)
+        art = snapshot_result(live)
+        assert isinstance(art, ScenarioArtifacts)
+        assert art.report is live.report
+        assert art.sampler.violation_fraction == live.sampler.violation_fraction
+        assert (
+            art.sampler.violation_fraction_by_class()
+            == live.sampler.violation_fraction_by_class()
+        )
+        assert art.sampler.energy_kwh() == pytest.approx(live.sampler.energy_kwh())
+        assert art.cluster.vm_count == live.cluster.vm_count
+        for snap, host in zip(art.cluster.hosts, live.cluster.hosts):
+            assert snap.name == host.name
+            for state in PowerState:
+                assert snap.machine.residency_s(state) == pytest.approx(
+                    host.machine.residency_s(state)
+                )
+            assert snap.machine.transit_time_s == pytest.approx(
+                host.machine.transit_time_s
+            )
+        assert art.manager.log is live.manager.log
+
+    def test_artifacts_survive_pickling(self):
+        import pickle
+
+        (art,) = run_scenarios([small_spec()], workers=1, cache=False)
+        clone = pickle.loads(pickle.dumps(art))
+        assert clone.report.to_dict() == art.report.to_dict()
+        assert len(clone.sampler.series["power_w"]) == len(
+            art.sampler.series["power_w"]
+        )
+        assert clone.sampler.violation_fraction_by_class().keys() == {
+            Priority.GOLD,
+            Priority.SILVER,
+            Priority.BRONZE,
+        }
+
+    def test_spec_name_prefers_label(self):
+        assert small_spec(label="mine").name == "mine"
+        assert small_spec().name == "S3-PM"

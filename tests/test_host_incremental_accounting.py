@@ -1,0 +1,127 @@
+"""Micro-tests: incremental Host capacity accounting stays exact.
+
+``Host.mem_used_gb`` / ``Host.vcpus_committed`` are maintained as running
+totals in ``place``/``remove`` (an O(1) hot path) instead of summing the
+resident set on every access.  These tests drive randomized
+place/remove/migrate sequences and check the totals against the naive
+``sum()`` they replaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.host import Host
+from repro.datacenter.vm import VM
+from repro.prototype import make_prototype_blade_profile
+from repro.sim import Environment
+from repro.workload.traces import FlatTrace
+
+
+def make_host(env, name="h0", cores=64.0, mem_gb=4096.0):
+    return Host(
+        env, name, make_prototype_blade_profile(), cores=cores, mem_gb=mem_gb
+    )
+
+
+def make_vm(i, rng):
+    # Awkward float sizes on purpose: exercise accumulated float error.
+    return VM(
+        "vm-{:04d}".format(i),
+        vcpus=float(rng.choice([1, 2, 4, 8])) + float(rng.random()) * 0.25,
+        mem_gb=1.0 + float(rng.random()) * 15.0,
+        trace=FlatTrace(0.5),
+    )
+
+
+def naive_mem(host):
+    return sum(vm.mem_gb for vm in host.vms.values())
+
+
+def naive_vcpus(host):
+    return sum(vm.vcpus for vm in host.vms.values())
+
+
+def assert_exact(host):
+    assert host.mem_used_gb == pytest.approx(naive_mem(host), abs=1e-9)
+    assert host.vcpus_committed == pytest.approx(naive_vcpus(host), abs=1e-9)
+
+
+class TestIncrementalAccounting:
+    def test_empty_host_is_zero(self):
+        host = make_host(Environment())
+        assert host.mem_used_gb == 0.0
+        assert host.vcpus_committed == 0.0
+
+    def test_place_then_remove_restores_exact_zero(self):
+        host = make_host(Environment())
+        vm = make_vm(0, np.random.default_rng(0))
+        host.place(vm)
+        assert_exact(host)
+        host.remove(vm)
+        assert host.mem_used_gb == 0.0
+        assert host.vcpus_committed == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_place_remove_sequence(self, seed):
+        rng = np.random.default_rng(seed)
+        host = make_host(Environment())
+        resident = []
+        for i in range(400):
+            if resident and rng.random() < 0.45:
+                vm = resident.pop(int(rng.integers(len(resident))))
+                host.remove(vm)
+            else:
+                vm = make_vm(i, rng)
+                if not host.fits(vm):
+                    continue
+                host.place(vm)
+                resident.append(vm)
+            assert_exact(host)
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_randomized_migrations_between_hosts(self, seed):
+        """Remove-from-source + place-on-destination keeps both exact."""
+        rng = np.random.default_rng(seed)
+        env = Environment()
+        hosts = [make_host(env, "h{}".format(i)) for i in range(3)]
+        placed = {}
+        for i in range(60):
+            vm = make_vm(i, rng)
+            src = hosts[int(rng.integers(len(hosts)))]
+            if src.fits(vm):
+                src.place(vm)
+                placed[vm.name] = vm
+        for _ in range(500):
+            vm = placed[
+                str(rng.choice(sorted(placed)))
+            ]
+            dst = hosts[int(rng.integers(len(hosts)))]
+            if vm.host is dst or not dst.fits(vm):
+                continue
+            vm.host.remove(vm)
+            dst.place(vm)
+            for host in hosts:
+                assert_exact(host)
+
+    def test_drain_and_refill_cycles(self):
+        """Emptying a host snaps totals to exactly 0.0 (no float drift)."""
+        rng = np.random.default_rng(99)
+        host = make_host(Environment())
+        for _ in range(20):
+            vms = [make_vm(i, rng) for i in range(25)]
+            for vm in vms:
+                if host.fits(vm):
+                    host.place(vm)
+            assert_exact(host)
+            for vm in list(host.vms.values()):
+                host.remove(vm)
+            assert host.mem_used_gb == 0.0
+            assert host.vcpus_committed == 0.0
+
+    def test_mem_free_uses_incremental_total(self):
+        host = make_host(Environment(), mem_gb=64.0)
+        vm = VM("big", vcpus=4, mem_gb=40.0, trace=FlatTrace(0.5))
+        host.place(vm)
+        assert host.mem_free_gb == pytest.approx(24.0)
+        small = VM("small", vcpus=1, mem_gb=30.0, trace=FlatTrace(0.5))
+        assert not host.fits(small)
