@@ -7,15 +7,14 @@ compounds the savings.
 """
 
 from repro.analysis import render_table
-from repro.core import run_scenario, s3_policy
+from repro.core import PowerAwareManager, s3_policy
+from repro.core.runner import spread_placement
 from repro.datacenter import Cluster
 from repro.migration import MigrationEngine
-from repro.core import PowerAwareManager
 from repro.prototype import make_prototype_blade_profile
 from repro.sim import Environment
 from repro.telemetry import ClusterSampler, build_report
 from repro.workload import FleetSpec, build_fleet
-from repro.core.runner import spread_placement
 
 HORIZON = 48 * 3600.0
 

@@ -8,7 +8,7 @@ overhead is amortized, which is the quantitative basis for the "agile"
 claim.
 """
 
-from benchmarks.conftest import EVAL_HORIZON_S, EVAL_HOSTS, eval_fleet_spec, run_policy_comparison
+from benchmarks.conftest import EVAL_HORIZON_S, eval_fleet_spec, run_policy_comparison
 from repro.analysis import render_table
 from repro.power import PowerState
 

@@ -7,7 +7,6 @@ heart of the low-latency-states argument.
 """
 
 from repro.analysis import render_table
-from repro.power import PowerState
 from repro.prototype import PROTOTYPE_BLADE, breakeven_curve
 
 GAPS_S = [10, 20, 30, 60, 120, 300, 600, 1200, 3600, 2 * 3600, 4 * 3600]

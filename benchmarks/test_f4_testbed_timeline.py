@@ -5,8 +5,6 @@ and total power over time, showing hosts parked in the trough and woken
 for the next peak.
 """
 
-import pytest
-
 from repro.analysis import render_series
 from repro.core import run_scenario, s3_policy
 from repro.workload import FleetSpec

@@ -6,7 +6,7 @@ report; these helpers keep that output consistent and diff-friendly.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 

@@ -230,6 +230,36 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint machinery is dev tooling, not needed for
+    # the simulation fast path.
+    from repro.tools.lint import default_rules, lint_paths, rules_for_ids
+
+    if args.list_rules:
+        rules = default_rules()
+        print(
+            render_table(
+                ["rule", "title"],
+                [[rule.rule_id, rule.title] for rule in rules],
+                title="reprolint rules",
+            )
+        )
+        return 0
+    try:
+        rules = (
+            rules_for_ids(args.rules.split(",")) if args.rules else default_rules()
+        )
+        report = lint_paths(args.paths or ["src", "benchmarks"], rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        print("repro lint: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.action == "clear":
@@ -292,6 +322,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="info: show location/entries/size; clear: delete every entry",
     )
     cache_parser.set_defaults(func=cmd_cache)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the reprolint static-analysis pass (simulation invariants)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
 
     char_parser = sub.add_parser(
         "characterize", help="print the power-state characterization tables"

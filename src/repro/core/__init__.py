@@ -15,16 +15,15 @@ Entry points:
   compares (AlwaysOn/DRM, S5, S3, Hybrid, plus analytic oracle bounds).
 """
 
+from repro.core.cache import ResultCache, Uncacheable, scenario_digest
 from repro.core.config import ManagerConfig
-from repro.core.predictor import (
-    DemandPredictor,
-    EwmaPredictor,
-    HistoryPredictor,
-    PeakWindowPredictor,
-    ReactivePredictor,
-    make_predictor,
-)
 from repro.core.manager import ManagementLog, PowerAwareManager
+from repro.core.parallel import (
+    ScenarioArtifacts,
+    ScenarioSpec,
+    run_scenarios,
+    snapshot_result,
+)
 from repro.core.policies import (
     POLICIES,
     always_on,
@@ -33,14 +32,15 @@ from repro.core.policies import (
     s3_policy,
     s5_policy,
 )
-from repro.core.runner import ScenarioResult, run_scenario
-from repro.core.cache import ResultCache, Uncacheable, scenario_digest
-from repro.core.parallel import (
-    ScenarioArtifacts,
-    ScenarioSpec,
-    run_scenarios,
-    snapshot_result,
+from repro.core.predictor import (
+    DemandPredictor,
+    EwmaPredictor,
+    HistoryPredictor,
+    PeakWindowPredictor,
+    ReactivePredictor,
+    make_predictor,
 )
+from repro.core.runner import ScenarioResult, run_scenario
 
 __all__ = [
     "DemandPredictor",

@@ -37,7 +37,7 @@ import tempfile
 from dataclasses import fields, is_dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Union
 
 #: Bump to invalidate every cached result after a format change.
 CACHE_SCHEMA = 1
@@ -163,7 +163,7 @@ def default_cache_dir() -> Path:
 class ResultCache:
     """Pickle-per-entry disk cache with an in-process read-through layer."""
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    def __init__(self, root: Union[str, "os.PathLike[str]", None] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
         self.hits = 0
         self.misses = 0

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any, Optional
 
 from repro.placement.balancer import BalanceConfig
 from repro.power.states import PowerState
@@ -105,6 +105,6 @@ class ManagerConfig:
         if self.admission_timeout_s is not None and self.admission_timeout_s <= 0:
             raise ValueError("admission_timeout_s must be positive when set")
 
-    def with_overrides(self, **kwargs) -> "ManagerConfig":
+    def with_overrides(self, **kwargs: Any) -> "ManagerConfig":
         """A copy with selected fields replaced (used by sweeps)."""
         return replace(self, **kwargs)

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
+    from repro.sim.events import Event
+    from repro.sim.process import Process
 
 from repro.core.config import ManagerConfig
 from repro.core.predictor import make_predictor
@@ -78,7 +83,7 @@ class PowerAwareManager:
 
     def __init__(
         self,
-        env: "Environment",  # noqa: F821
+        env: "Environment",
         cluster: Cluster,
         engine: MigrationEngine,
         config: Optional[ManagerConfig] = None,
@@ -107,12 +112,12 @@ class PowerAwareManager:
         self.env.process(self._consolidation_loop())
         self.env.process(self._watchdog_loop())
 
-    def _consolidation_loop(self):
+    def _consolidation_loop(self) -> Generator["Event", Any, None]:
         while True:
             yield self.env.timeout(self.config.period_s)
             self.evaluate()
 
-    def _watchdog_loop(self):
+    def _watchdog_loop(self) -> Generator["Event", Any, None]:
         while True:
             yield self.env.timeout(self.config.watchdog_period_s)
             self.react_to_shortfall()
@@ -158,8 +163,8 @@ class PowerAwareManager:
     def _pick_host_for(self, vm: VM) -> Optional[Host]:
         """Best-fit host for a new VM under the CPU target + memory."""
         demand = self._admission_demand(vm)
-        best = None
-        best_slack = None
+        best: Optional[Host] = None
+        best_slack: Optional[float] = None
         for host in self.cluster.placeable_hosts():
             if not host.fits(vm):
                 continue
@@ -394,7 +399,7 @@ class PowerAwareManager:
         )
         return projected <= cap
 
-    def _wake(self, host: Host):
+    def _wake(self, host: Host) -> Generator["Event", Any, None]:
         yield self.env.process(host.wake())
         if not host.is_active:
             # Injected wake failure: the watchdog will retry (or pick a
@@ -407,7 +412,9 @@ class PowerAwareManager:
     # Shrinking capacity (evacuate + park)
     # ------------------------------------------------------------------
 
-    def _shrink(self, surplus_cores: float, evac_cpu_target: float = None) -> None:
+    def _shrink(
+        self, surplus_cores: float, evac_cpu_target: Optional[float] = None
+    ) -> None:
         now = self.env.now
         target = evac_cpu_target if evac_cpu_target is not None else self.config.cpu_target
         parks = 0
@@ -448,7 +455,7 @@ class PowerAwareManager:
             surplus_cores -= host.cores
             parks += 1
 
-    def _park_candidate_key(self, host: Host):
+    def _park_candidate_key(self, host: Host) -> Tuple[float, ...]:
         """Ordering of park candidates (see ``ManagerConfig.park_preference``).
 
         ``load``: strictly emptiest-first (cheapest evacuation).
@@ -484,9 +491,11 @@ class PowerAwareManager:
         )
         return cfg.park_state if warm < cfg.warm_pool_hosts else cfg.deep_park_state
 
-    def _evacuate_and_park(self, task: _EvacuationTask):
+    def _evacuate_and_park(
+        self, task: _EvacuationTask
+    ) -> Generator["Event", Any, None]:
         host = task.host
-        migrations = []
+        migrations: List["Process"] = []
         for vm, dst in task.plan:
             if task.cancelled:
                 break
@@ -522,7 +531,7 @@ class PowerAwareManager:
     # Operator maintenance mode
     # ------------------------------------------------------------------
 
-    def request_maintenance(self, host: Host) -> "Process":  # noqa: F821
+    def request_maintenance(self, host: Host) -> "Process":
         """Evacuate ``host`` and power it off for service.
 
         Returns a process whose value is True once the host is safely
@@ -539,7 +548,7 @@ class PowerAwareManager:
         self.log.record(self.env.now, "maintenance-start", host.name)
         return self.env.process(self._maintenance_drain(host))
 
-    def end_maintenance(self, host: Host) -> Optional["Process"]:  # noqa: F821
+    def end_maintenance(self, host: Host) -> Optional["Process"]:
         """Release the hold; wake the host if it was powered down."""
         if not host.in_maintenance:
             raise RuntimeError("{} is not in maintenance".format(host.name))
@@ -554,7 +563,9 @@ class PowerAwareManager:
             return PowerState.OFF
         return host.profile.park_states()[-1]
 
-    def _maintenance_drain(self, host: Host):
+    def _maintenance_drain(
+        self, host: Host
+    ) -> Generator["Event", Any, bool]:
         if host.state.is_parked:
             return True
         now = self.env.now

@@ -36,7 +36,15 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.core.manager import ManagementLog, PowerAwareManager
+    from repro.core.runner import ScenarioResult
+    from repro.datacenter.cluster import Cluster
+    from repro.datacenter.host import Host
+    from repro.power.machine import HostPowerStateMachine
+    from repro.telemetry.sampler import ClusterSampler
 
 from repro.core.cache import ResultCache, Uncacheable, cache_disabled, scenario_digest
 from repro.core.config import ManagerConfig
@@ -54,7 +62,7 @@ from repro.telemetry.timeseries import TimeSeries
 class MachineSnapshot:
     """Frozen power-state-machine statistics (residency, transitions)."""
 
-    def __init__(self, machine) -> None:
+    def __init__(self, machine: "HostPowerStateMachine") -> None:
         self.state: PowerState = machine.state
         self.transition_counts = dict(machine.transition_counts)
         self.transit_time_s: float = machine.transit_time_s
@@ -69,7 +77,7 @@ class MachineSnapshot:
 class HostSnapshot:
     """Frozen per-host facts: capacity, final state, energy, residency."""
 
-    def __init__(self, host) -> None:
+    def __init__(self, host: "Host") -> None:
         self.name: str = host.name
         self.cores: float = host.cores
         self.mem_gb: float = host.mem_gb
@@ -90,7 +98,7 @@ class HostSnapshot:
 class ClusterSnapshot:
     """Frozen cluster inventory — supports the residency/energy analyses."""
 
-    def __init__(self, cluster) -> None:
+    def __init__(self, cluster: "Cluster") -> None:
         self.hosts: List[HostSnapshot] = [HostSnapshot(h) for h in cluster.hosts]
         self.vm_count: int = cluster.vm_count
 
@@ -109,7 +117,7 @@ class SamplerSnapshot:
     either a live sampler or a snapshot.
     """
 
-    def __init__(self, sampler) -> None:
+    def __init__(self, sampler: "ClusterSampler") -> None:
         self.epoch_s: float = sampler.epoch_s
         self.samples: int = sampler.samples
         self.series: Dict[str, TimeSeries] = dict(sampler.series)
@@ -146,8 +154,8 @@ class SamplerSnapshot:
 class ManagerSnapshot:
     """Frozen management outcome: the action ledger and end-state counters."""
 
-    def __init__(self, manager) -> None:
-        self.log = manager.log
+    def __init__(self, manager: "PowerAwareManager") -> None:
+        self.log: "ManagementLog" = manager.log
         self.pending_admissions: int = manager.pending_admissions
 
 
@@ -161,7 +169,7 @@ class ScenarioArtifacts:
     manager: ManagerSnapshot
 
 
-def snapshot_result(result) -> ScenarioArtifacts:
+def snapshot_result(result: "ScenarioResult") -> ScenarioArtifacts:
     """Freeze a live :class:`~repro.core.ScenarioResult` into artifacts."""
     return ScenarioArtifacts(
         report=result.report,
@@ -303,8 +311,20 @@ def run_scenarios(
 
     # Fill duplicate positions from their owners.
     for i in range(len(specs)):
-        if results[i] is None and digests[i] is not None:
-            results[i] = results[owner_of[digests[i]]]
+        d = digests[i]
+        if results[i] is None and d is not None:
+            results[i] = results[owner_of[d]]
 
-    assert all(r is not None for r in results)
-    return results
+    final: List[ScenarioArtifacts] = []
+    missing: List[str] = []
+    for spec, artifacts in zip(specs, results):
+        if artifacts is None:
+            missing.append(spec.name)
+        else:
+            final.append(artifacts)
+    if missing:
+        raise RuntimeError(
+            "run_scenarios produced no artifacts for {} (internal scheduling "
+            "bug — please report)".format(", ".join(missing))
+        )
+    return final

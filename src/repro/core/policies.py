@@ -8,7 +8,7 @@ and still hurts performance.  The S3 preset can afford aggression.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from repro.core.config import ManagerConfig
 from repro.power.states import PowerState
@@ -89,7 +89,7 @@ def s3_dvfs_policy() -> ManagerConfig:
     return cfg.with_overrides(name="S3+DVFS", enable_dvfs=True)
 
 
-POLICIES: Dict[str, callable] = {
+POLICIES: Dict[str, Callable[..., ManagerConfig]] = {
     "AlwaysOn": always_on,
     "S3-PM": s3_policy,
     "S5-PM": s5_policy,
@@ -106,7 +106,7 @@ def policy_by_name(name: str) -> ManagerConfig:
     except KeyError:
         raise ValueError(
             "unknown policy {!r}; choose from {}".format(name, sorted(POLICIES))
-        )
+        ) from None
 
 
 def standard_comparison() -> List[ManagerConfig]:

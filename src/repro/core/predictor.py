@@ -8,7 +8,7 @@ three predictors share one interface so the A3 ablation can swap them.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 
 class DemandPredictor:
@@ -155,10 +155,10 @@ class HistoryPredictor(DemandPredictor):
         return max(self._last, remembered)
 
 
-def make_predictor(name: str, **kwargs) -> DemandPredictor:
+def make_predictor(name: str, **kwargs: Any) -> DemandPredictor:
     """Factory keyed by short name:
     ``reactive`` | ``ewma`` | ``peak`` | ``history``."""
-    factories = {
+    factories: Dict[str, Callable[..., DemandPredictor]] = {
         "reactive": ReactivePredictor,
         "ewma": EwmaPredictor,
         "peak": PeakWindowPredictor,
@@ -169,5 +169,5 @@ def make_predictor(name: str, **kwargs) -> DemandPredictor:
     except KeyError:
         raise ValueError(
             "unknown predictor {!r}; choose from {}".format(name, sorted(factories))
-        )
+        ) from None
     return factory(**kwargs)

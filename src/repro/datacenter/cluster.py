@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
+if TYPE_CHECKING:
+    from repro.sim.environment import Environment
+
+from repro.datacenter.faults import FaultModel
 from repro.datacenter.host import Host
 from repro.datacenter.vm import VM
+from repro.power.dvfs import DvfsModel
 from repro.power.profiles import ServerPowerProfile
 from repro.power.states import PowerState
 
@@ -13,7 +18,7 @@ from repro.power.states import PowerState
 class Cluster:
     """A managed pool of hosts and the VMs running on them."""
 
-    def __init__(self, env: "Environment", hosts: Iterable[Host]) -> None:  # noqa: F821
+    def __init__(self, env: "Environment", hosts: Iterable[Host]) -> None:
         self.env = env
         self.hosts: List[Host] = list(hosts)
         names = [h.name for h in self.hosts]
@@ -26,15 +31,15 @@ class Cluster:
     @classmethod
     def homogeneous(
         cls,
-        env: "Environment",  # noqa: F821
+        env: "Environment",
         profile: ServerPowerProfile,
         n_hosts: int,
         cores: float = 16.0,
         mem_gb: float = 128.0,
         initial_state: PowerState = PowerState.ACTIVE,
-        dvfs=None,
+        dvfs: Optional[DvfsModel] = None,
         dvfs_target: float = 0.8,
-        faults=None,
+        faults: Optional[FaultModel] = None,
         fault_seed: int = 0,
     ) -> "Cluster":
         """Build ``n_hosts`` identical hosts named ``host-000`` …"""
@@ -60,8 +65,8 @@ class Cluster:
     @classmethod
     def heterogeneous(
         cls,
-        env: "Environment",  # noqa: F821
-        generations: "List[dict]",
+        env: "Environment",
+        generations: List[Dict[str, Any]],
         fault_seed: int = 0,
     ) -> "Cluster":
         """Build a mixed-generation cluster.
@@ -102,7 +107,7 @@ class Cluster:
     def vm_count(self) -> int:
         return len(self._vms)
 
-    def iter_vms(self) -> "Iterable[VM]":
+    def iter_vms(self) -> Iterable[VM]:
         """Iterate resident VMs without copying the registry (hot path)."""
         return self._vms.values()
 

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Set
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.sim.environment import Environment
+    from repro.sim.events import Event
 
 from repro.datacenter.faults import FaultInjector, FaultModel
 from repro.datacenter.vm import Priority, VM
@@ -12,7 +18,7 @@ from repro.power.profiles import ServerPowerProfile
 from repro.power.states import PowerState
 
 
-def _latency_rng(seed: int, name: str):
+def _latency_rng(seed: int, name: str) -> "np.random.Generator":
     """Per-host seeded RNG for transition-latency jitter."""
     import zlib
 
@@ -40,7 +46,7 @@ class Host:
 
     def __init__(
         self,
-        env: "Environment",  # noqa: F821
+        env: "Environment",
         name: str,
         profile: ServerPowerProfile,
         cores: float = 16.0,
@@ -82,7 +88,7 @@ class Host:
         #: Memory held for inbound migrations, counted against mem_free_gb.
         self.mem_reserved_gb = 0.0
         #: Anti-affinity groups of inbound (in-flight) migrations.
-        self.groups_reserved = set()
+        self.groups_reserved: Set[str] = set()
         #: Optional per-host DVFS governor (ondemand-style).
         self.dvfs = dvfs
         self.dvfs_target = dvfs_target
@@ -172,8 +178,10 @@ class Host:
                     vm.name, self.name, self.state.value
                 )
             )
-        if vm.placed:
-            raise RuntimeError("{} is already placed on {}".format(vm.name, vm.host.name))
+        if vm.host is not None:
+            raise RuntimeError(
+                "{} is already placed on {}".format(vm.name, vm.host.name)
+            )
         if not self.fits(vm):
             group = vm.anti_affinity_group
             if group is not None and (
@@ -219,7 +227,7 @@ class Host:
             + self.migration_tax_cores
         )
 
-    def shortfall_by_class(self, t: float) -> Dict["Priority", float]:
+    def shortfall_by_class(self, t: float) -> Dict[Priority, float]:
         """Undelivered cores per service class at ``t``.
 
         Delivery is strict-priority: the migration tax is served first
@@ -288,7 +296,7 @@ class Host:
     # Power-state changes (generators for env.process)
     # ------------------------------------------------------------------
 
-    def park(self, state: PowerState):
+    def park(self, state: PowerState) -> Generator["Event", Any, PowerState]:
         """Transition generator: ACTIVE → parked ``state``.
 
         The host must be empty — the management layer evacuates first.
@@ -303,7 +311,7 @@ class Host:
             raise ValueError("park target must be a parked state")
         return self.machine.transition_to(state)
 
-    def wake(self):
+    def wake(self) -> Generator["Event", Any, PowerState]:
         """Transition generator: parked → ACTIVE.
 
         With fault injection attached, the attempt may fail: it consumes
@@ -320,7 +328,7 @@ class Host:
                 return self._failed_wake_permanent()
         return self.machine.transition_to(PowerState.ACTIVE, fail=fail)
 
-    def _failed_wake_permanent(self):
+    def _failed_wake_permanent(self) -> Generator["Event", Any, PowerState]:
         result = yield self.env.process(
             self.machine.transition_to(PowerState.ACTIVE, fail=True)
         )

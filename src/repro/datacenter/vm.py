@@ -3,7 +3,21 @@
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:
+    from repro.datacenter.host import Host
+
+
+class DemandTrace(Protocol):
+    """Anything with ``at(t) -> float``: a demand fraction over time.
+
+    The concrete traces live in :mod:`repro.workload.traces`; this
+    protocol keeps the datacenter layer independent of the workload
+    layer.
+    """
+
+    def at(self, t: float) -> float: ...
 
 
 class Priority(enum.IntEnum):
@@ -40,7 +54,7 @@ class VM:
         name: str,
         vcpus: float,
         mem_gb: float,
-        trace,
+        trace: DemandTrace,
         priority: Priority = Priority.BRONZE,
     ) -> None:
         if vcpus <= 0:
@@ -55,7 +69,7 @@ class VM:
         #: HA constraint: VMs sharing a group must not share a host.
         self.anti_affinity_group: Optional[str] = None
         #: Host currently running the VM (maintained by Host.place/remove).
-        self.host: Optional["Host"] = None  # noqa: F821
+        self.host: Optional["Host"] = None
         #: True while a live migration of this VM is in flight.
         self.migrating = False
         #: Dirty-page rate in GB/s, used by the pre-copy migration model.

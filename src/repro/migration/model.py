@@ -9,7 +9,6 @@ the residual working set during a brief downtime window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 
 @dataclass(frozen=True)

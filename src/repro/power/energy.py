@@ -34,8 +34,10 @@ class EnergyMeter:
             raise ValueError("power must be non-negative")
         self._accumulate(now)
         self._power_w = power_w
+        # Exact != is intentional: this dedups change-points recorded with
+        # the *same* float, not quantities from independent arithmetic.
         if self._trace is not None and (
-            not self._trace or self._trace[-1][1] != power_w
+            not self._trace or self._trace[-1][1] != power_w  # reprolint: disable=RL004
         ):
             self._trace.append((now, power_w))
 

@@ -64,14 +64,14 @@ class ServerPowerProfile:
         except KeyError:
             raise ValueError(
                 "profile {!r} does not define state {}".format(self.name, state.value)
-            )
+            ) from None
 
     def transition(self, src: PowerState, dst: PowerState) -> TransitionSpec:
         """The spec for moving ``src`` → ``dst``; raises if illegal."""
         try:
             return self.transitions[(src, dst)]
         except KeyError:
-            raise IllegalTransition(src, dst)
+            raise IllegalTransition(src, dst) from None
 
     def can_transition(self, src: PowerState, dst: PowerState) -> bool:
         return (src, dst) in self.transitions

@@ -94,7 +94,7 @@ class Environment:
         try:
             when, _, _, event = heapq.heappop(self._queue)
         except IndexError:
-            raise EmptySchedule("no scheduled events")
+            raise EmptySchedule("no scheduled events") from None
         if when < self._now:
             raise AssertionError("event heap yielded a past timestamp")
         self._now = when

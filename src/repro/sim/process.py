@@ -92,7 +92,10 @@ class Process(Event):
         except StopIteration as stop:
             self._finish_ok(stop.value)
             return
-        except BaseException as exc:
+        # Crash capture, not swallowing: the exception becomes this
+        # process-event's failure value and is re-raised in every waiter
+        # (or by Environment.step if nobody absorbs it).
+        except BaseException as exc:  # reprolint: disable=RL006
             self._finish_fail(exc)
             return
         finally:

@@ -7,7 +7,7 @@ and to model shared migration-network bandwidth.
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from repro.sim.events import Event
 

@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the reproduction.
+
+Currently one tool lives here: :mod:`repro.tools.lint` ("reprolint"), a
+static-analysis pass that enforces the simulation's domain invariants
+(determinism, units discipline, picklability).  It is wired into the CLI
+as ``repro lint`` and into CI as a gating job.
+"""

@@ -1,0 +1,46 @@
+"""reprolint — domain-invariant static analysis for this reproduction.
+
+Run it from the CLI::
+
+    repro lint src benchmarks
+    repro lint src --format json
+    repro lint src --rules RL001,RL007
+    repro lint --list-rules
+
+or programmatically::
+
+    from repro.tools.lint import lint_paths
+
+    report = lint_paths(["src"])
+    for finding in report.findings:
+        print(finding.render())
+
+Suppress a finding in place with a trailing comment, naming the rule::
+
+    except BaseException as exc:  # reprolint: disable=RL006
+"""
+
+from repro.tools.lint.engine import (
+    Finding,
+    LintReport,
+    ModuleContext,
+    Rule,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+)
+from repro.tools.lint.rules import ALL_RULES, RULES_BY_ID, default_rules, rules_for_ids
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "RULES_BY_ID",
+    "Rule",
+    "default_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "rules_for_ids",
+]

@@ -1,0 +1,269 @@
+"""The reprolint engine: file walking, parsing, suppression, reporting.
+
+The engine is deliberately small.  A :class:`Rule` sees one fully parsed
+module at a time (as a :class:`ModuleContext`) and yields
+:class:`Finding` objects; everything else — collecting the file set,
+honouring ``# reprolint: disable=...`` comments, ordering output,
+rendering text or JSON — lives here, so a new rule is ~30 lines of AST
+visiting and nothing more.
+
+Suppression syntax (per physical line)::
+
+    power_w = power_w + energy_j  # reprolint: disable=RL003
+    noisy_call()                  # reprolint: disable=RL001,RL002
+    anything_at_all()             # reprolint: disable=all
+
+A suppression silences only findings reported *on that line*.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Pseudo rule id used for files the engine cannot parse.
+PARSE_ERROR_RULE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>all|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: File name patterns treated as test code (rules may opt out of them).
+_TEST_FILE_RE = re.compile(r"^(test_.*|.*_test|conftest)\.py$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        return "{}:{}:{}: {} {}".format(
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+
+class ModuleContext:
+    """Everything a rule may want to know about one parsed module."""
+
+    def __init__(self, path: Path, source: str, display_path: Optional[str] = None) -> None:
+        self.path = path
+        self.display_path = display_path if display_path is not None else str(path)
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.suppressions: Dict[int, FrozenSet[str]] = _parse_suppressions(source)
+        #: Path components, used by package-scoped rules (e.g. RL002 only
+        #: polices ``sim``/``core``/``datacenter``/``power``).
+        self.package_parts: Tuple[str, ...] = path.parts
+        self.is_test_file: bool = bool(_TEST_FILE_RE.match(path.name))
+
+    def in_packages(self, packages: Sequence[str]) -> bool:
+        return any(part in packages for part in self.package_parts)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            message=message,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return "ALL" in rules or finding.rule.upper() in rules
+
+
+def _parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> set of suppressed rule ids (``ALL`` = every rule).
+
+    Comments are located with :mod:`tokenize` so a ``#`` inside a string
+    literal never counts as a suppression.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        for token in tokenize.generate_tokens(lambda: next(lines, "")):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            spec = match.group("rules")
+            if spec == "all":
+                rules = frozenset({"ALL"})
+            else:
+                rules = frozenset(r.strip().upper() for r in spec.split(","))
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | rules
+    except tokenize.TokenError:
+        # Unterminated string etc. — ast.parse will produce the real error.
+        pass
+    return suppressions
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one module.  Set ``scoped_packages`` to limit a
+    rule to modules whose path crosses one of those package directories,
+    and ``skip_test_files`` for rules that do not apply to pytest code
+    (e.g. RL007 — ``assert`` is the *point* of a test).
+    """
+
+    rule_id: str = "RL999"
+    title: str = ""
+    rationale: str = ""
+    scoped_packages: Optional[Tuple[str, ...]] = None
+    skip_test_files: bool = False
+
+    def applies_to(self, module: ModuleContext) -> bool:
+        if self.skip_test_files and module.is_test_file:
+            return False
+        if self.scoped_packages is not None and not module.in_packages(
+            self.scoped_packages
+        ):
+            return False
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a stable, sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                "not a python file or directory: {}".format(path)
+            )
+    # De-duplicate while preserving sorted order per input path.
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        key = str(f)
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """Run every applicable rule over one file; suppressions applied."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise FileNotFoundError("cannot read {}: {}".format(path, exc)) from exc
+    try:
+        module = ModuleContext(path, source, display_path=display_path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                message="syntax error: {}".format(exc.msg),
+                path=display_path if display_path is not None else str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "ok": self.ok,
+        }
+
+    def render_text(self) -> str:
+        out = [f.render() for f in self.findings]
+        out.append(
+            "reprolint: {} finding(s) in {} file(s)".format(
+                len(self.findings), self.files_checked
+            )
+        )
+        return "\n".join(out)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every python file under ``paths`` with ``rules``.
+
+    ``rules`` defaults to the full registered set
+    (:data:`repro.tools.lint.rules.ALL_RULES`).
+    """
+    if rules is None:
+        from repro.tools.lint.rules import default_rules
+
+        rules = default_rules()
+    files = iter_python_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, rules))
+    findings.sort(key=Finding.sort_key)
+    return LintReport(findings=findings, files_checked=len(files))

@@ -16,7 +16,7 @@ power-management policy can save and how hard it will be stressed:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ spiky) pre-draw a sample grid from a seeded RNG so every lookup is pure.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -1,0 +1,23 @@
+"""Fixture: RL001 — unseeded / global RNG use."""
+
+import random
+
+import numpy as np
+from numpy import random as npr
+
+
+def shuffle_hosts(hosts):
+    np.random.shuffle(hosts)  # finding: global numpy RNG
+    return hosts
+
+
+def draw():
+    return random.random()  # finding: global stdlib RNG
+
+
+def make_rng():
+    return random.Random()  # finding: Random() without a seed
+
+
+def sample(n):
+    return npr.randint(0, 10, size=n)  # finding: aliased numpy.random

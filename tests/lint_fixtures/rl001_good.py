@@ -1,0 +1,22 @@
+"""Fixture: RL001 — seeded, locally owned RNGs pass."""
+
+import random
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_stdlib_rng(seed):
+    return random.Random(seed)
+
+
+class Sampler:
+    def __init__(self, seed):
+        self.rng = np.random.default_rng(seed)
+
+    def draw(self):
+        # Attribute chains on non-module objects are never flagged.
+        return self.rng.random()

@@ -1,0 +1,13 @@
+"""Fixture: RL003 — mixing conflicting unit suffixes without conversion."""
+
+
+def total_draw(power_w, energy_j):
+    return power_w + energy_j  # finding: watts + joules
+
+
+def headroom(capacity_gb, horizon_s):
+    return capacity_gb - horizon_s  # finding: GB - seconds
+
+
+def over_budget(power_w, budget_j):
+    return power_w > budget_j  # finding: ordering watts against joules

@@ -1,0 +1,15 @@
+"""Fixture: RL003 — same-unit arithmetic and explicit conversion pass."""
+
+
+def total_power(idle_w, dynamic_w):
+    return idle_w + dynamic_w
+
+
+def energy(power_w, horizon_s):
+    # Multiplication is a conversion: W * s -> J.
+    energy_j = power_w * horizon_s
+    return energy_j
+
+
+def compare(power_w, cap_w):
+    return power_w > cap_w

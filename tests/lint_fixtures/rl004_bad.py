@@ -1,0 +1,9 @@
+"""Fixture: RL004 — float equality on unit-suffixed quantities."""
+
+
+def is_idle(power_w):
+    return power_w == 0.0  # finding: exact float equality on watts
+
+
+def changed(old_energy_j, new_energy_j):
+    return old_energy_j != new_energy_j  # finding: exact inequality on joules

@@ -1,0 +1,15 @@
+"""Fixture: RL004 — tolerance comparison and unitless equality pass."""
+
+
+def is_idle(power_w):
+    return abs(power_w) < 1e-9
+
+
+def same_count(n_hosts, n_active):
+    # No unit suffix: exact equality on counts is fine.
+    return n_hosts == n_active
+
+
+def maybe(power_w):
+    # ``is None`` checks are not flagged.
+    return power_w is None

@@ -1,0 +1,13 @@
+"""Fixture: RL005 — mutable default arguments."""
+
+
+def schedule(events=[]):  # finding: list literal default
+    return events
+
+
+def configure(options=None, overrides={}):  # finding: dict literal default
+    return options, overrides
+
+
+def tag(names=set()):  # finding: set() call default
+    return names

@@ -1,0 +1,9 @@
+"""Fixture: RL005 — None-sentinel defaults pass."""
+
+
+def schedule(events=None):
+    return list(events) if events else []
+
+
+def configure(limit=10, name="host", factor=1.5):
+    return limit, name, factor

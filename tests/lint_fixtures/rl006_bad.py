@@ -1,0 +1,15 @@
+"""Fixture: RL006 — bare / overbroad exception handlers."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:  # finding: bare except  # noqa: E722
+        return None
+
+
+def parse(text):
+    try:
+        return int(text)
+    except Exception:  # finding: swallows everything without re-raising
+        return 0

@@ -1,0 +1,16 @@
+"""Fixture: RL006 — narrow handlers, and broad handlers that re-raise."""
+
+
+def parse(text):
+    try:
+        return int(text)
+    except ValueError:
+        return 0
+
+
+def guarded(work):
+    try:
+        return work()
+    except Exception:
+        # Broad catch is allowed when the handler re-raises.
+        raise RuntimeError("work failed") from None

@@ -1,0 +1,7 @@
+"""Fixture: RL007 — assert used for runtime validation in library code."""
+
+
+def place(vm, host):
+    assert host is not None, "host required"  # finding: stripped under -O
+    assert vm.mem_gb > 0  # finding
+    host.place(vm)

@@ -1,0 +1,9 @@
+"""Fixture: RL007 — explicit exceptions survive ``python -O``."""
+
+
+def place(vm, host):
+    if host is None:
+        raise ValueError("host required")
+    if vm.mem_gb <= 0:
+        raise ValueError("mem_gb must be positive")
+    host.place(vm)

@@ -1,0 +1,19 @@
+"""Fixture: RL008 — unpicklable fields on result-carrying dataclasses."""
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+
+@dataclass
+class ScenarioArtifacts:
+    name: str
+    on_done: Callable[[], None]  # finding: callables may not pickle
+    samples: Iterator  # finding: iterators never pickle
+    lock: Optional[threading.Lock] = None  # finding: locks never pickle
+
+
+@dataclass
+class SweepResult:
+    label: str = "x"
+    key: object = lambda: 0  # noqa: E731  # finding: lambda default is stored

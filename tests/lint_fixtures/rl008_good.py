@@ -1,0 +1,20 @@
+"""Fixture: RL008 — plain-data fields and default factories pass."""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class ScenarioArtifacts:
+    name: str
+    energy_kwh: float
+    samples: List[Tuple[float, float]]
+    # default_factory is never stored on instances, so a lambda is fine.
+    tags: Dict[str, str] = field(default_factory=lambda: {"policy": "s3"})
+    note: Optional[str] = None
+
+
+@dataclass
+class PlannerConfig:
+    # Not a result-suffixed class name: fields are not checked.
+    scorer: Callable[[float], float] = min

@@ -1,0 +1,27 @@
+"""Fixture: RL002 — wall clock / environment nondeterminism.
+
+Lives under a ``sim/`` directory because RL002 is package-scoped: it
+only polices modules whose path crosses a simulation package
+(``sim``/``core``/``datacenter``/``power``/``placement``).
+"""
+
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # finding: wall clock
+
+
+def token():
+    return uuid.uuid4()  # finding: entropy source
+
+
+def now():
+    return datetime.now()  # finding: wall clock
+
+
+def order_hosts(hosts):
+    for host in {h.name for h in hosts}:  # finding: unordered set iteration
+        print(host)

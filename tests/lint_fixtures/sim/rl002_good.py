@@ -1,0 +1,10 @@
+"""Fixture: RL002 — simulated time and ordered iteration pass."""
+
+
+def stamp(env):
+    return env.now
+
+
+def order_hosts(hosts):
+    for host in sorted({h.name for h in hosts}):
+        print(host)
