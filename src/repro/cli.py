@@ -260,6 +260,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.trace import TraceError, read_trace
+    from repro.telemetry.validate import validate_trace
+
+    if args.target == "check":
+        if not args.path:
+            print("repro trace check: a trace file path is required", file=sys.stderr)
+            return 2
+        try:
+            log = read_trace(args.path)
+        except TraceError as exc:
+            print("repro trace check: {}".format(exc), file=sys.stderr)
+            return 2
+        outcome = validate_trace(log)
+        print(outcome.render_text())
+        return 0 if outcome.ok else 1
+
+    if args.path:
+        print(
+            "repro trace: unexpected positional {!r} (a file path only goes "
+            "with 'check')".format(args.path),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        config = policy_by_name(args.target)
+    except (KeyError, ValueError):
+        print(
+            "repro trace: unknown policy {!r} (choose from {} or 'check')".format(
+                args.target, ", ".join(sorted(POLICIES))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = _scenario_kwargs(args)
+    result = run_scenario(config, trace=True, **kwargs)
+    buf = result.trace
+    if buf is None:  # pragma: no cover - run_scenario(trace=True) guarantees it
+        raise RuntimeError("run_scenario(trace=True) returned no trace")
+    outcome = validate_trace(buf, report=result.report)
+    if args.out:
+        buf.write(args.out)
+        print(
+            "wrote {} event(s) to {} (sha256 {})".format(
+                len(buf), args.out, buf.trace_hash()
+            )
+        )
+        print(outcome.render_text())
+        return 0 if outcome.ok else 1
+    sys.stdout.write(buf.to_jsonl())
+    print(outcome.render_text(), file=sys.stderr)
+    return 0 if outcome.ok else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.action == "clear":
@@ -310,6 +364,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one policy with decision tracing (JSONL), or validate a "
+        "trace file ('trace check FILE')",
+    )
+    trace_parser.add_argument(
+        "target",
+        help="policy preset to run with tracing, or 'check' to validate an "
+        "existing trace file",
+    )
+    trace_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="trace JSONL file to validate (only with 'check')",
+    )
+    trace_parser.add_argument(
+        "--out",
+        default=None,
+        help="write the trace JSONL to this file instead of stdout",
+    )
+    _add_scenario_args(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the scenario result cache"

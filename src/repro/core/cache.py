@@ -132,8 +132,15 @@ def canonical(obj: Any) -> Any:
     )
 
 
-def scenario_digest(config: Any, kwargs: Dict[str, Any]) -> str:
-    """Content hash identifying one ``run_scenario(config, **kwargs)`` call."""
+def scenario_digest(
+    config: Any, kwargs: Dict[str, Any], extra: Optional[Dict[str, Any]] = None
+) -> str:
+    """Content hash identifying one ``run_scenario(config, **kwargs)`` call.
+
+    ``extra`` folds additional outcome-determining flags (e.g. trace
+    capture) into the key.  It is omitted from the payload when None so
+    digests of plain scenarios are stable across versions that added it.
+    """
     try:
         payload = {
             "schema": CACHE_SCHEMA,
@@ -141,6 +148,8 @@ def scenario_digest(config: Any, kwargs: Dict[str, Any]) -> str:
             "config": canonical(config),
             "kwargs": canonical(kwargs),
         }
+        if extra is not None:
+            payload["extra"] = canonical(extra)
     except RecursionError:
         raise Uncacheable("scenario description contains reference cycles")
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -25,6 +25,7 @@ if TYPE_CHECKING:
     from repro.sim.environment import Environment
     from repro.sim.events import Event
     from repro.sim.process import Process
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.core.config import ManagerConfig
 from repro.core.predictor import make_predictor
@@ -57,6 +58,13 @@ class ManagementLog:
     balancer_moves: int = 0
     #: Seconds each queued admission waited for capacity.
     admission_waits_s: List[float] = field(default_factory=list)
+    #: Structured watchdog interventions: ``(t, trigger, shortfall_cores)``
+    #: where trigger is ``"aggregate"`` or ``"host-overload"``.  The bare
+    #: ``reactive-wake`` text lines in :attr:`events` carry the same data
+    #: only as prose; tests and the trace layer read this field.
+    reactive_wake_events: List[Tuple[float, str, float]] = field(
+        default_factory=list
+    )
 
     def record(self, t: float, kind: str, detail: str = "") -> None:
         self.events.append((t, kind, detail))
@@ -87,6 +95,7 @@ class PowerAwareManager:
         cluster: Cluster,
         engine: MigrationEngine,
         config: Optional[ManagerConfig] = None,
+        trace: Optional["TraceBuffer"] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -95,6 +104,8 @@ class PowerAwareManager:
         self.predictor = make_predictor(self.config.predictor)
         self.balancer = LoadBalancer(self.config.balance)
         self.log = ManagementLog()
+        #: Decision-trace sink; None disables tracing at zero cost.
+        self._trace = trace
         self._pending: List[Tuple[VM, float]] = []
         self._evacs: Dict[str, _EvacuationTask] = {}
         self._surplus_rounds = 0
@@ -139,16 +150,24 @@ class PowerAwareManager:
             self.cluster.add_vm(vm, host)
             self.log.admissions += 1
             self.log.record(self.env.now, "admit", "{}->{}".format(vm.name, host.name))
+            if self._trace is not None:
+                self._trace.admission(self.env.now, "admit", vm.name, host=host.name)
             return True
         if not self.config.enable_power_mgmt:
             self.log.admissions_rejected += 1
+            if self._trace is not None:
+                self._trace.admission(self.env.now, "admit-rejected", vm.name)
             return False
         if not self._capacity_in_reserve():
             self.log.admissions_rejected += 1
+            if self._trace is not None:
+                self._trace.admission(self.env.now, "admit-rejected", vm.name)
             return False
         self._pending.append((vm, self.env.now))
         self.log.admissions_queued += 1
         self.log.record(self.env.now, "admit-queued", vm.name)
+        if self._trace is not None:
+            self._trace.admission(self.env.now, "admit-queued", vm.name)
         self._request_capacity(vm.vcpus)
         return True
 
@@ -157,8 +176,13 @@ class PowerAwareManager:
         for i, (pending_vm, _) in enumerate(self._pending):
             if pending_vm is vm:
                 del self._pending[i]
+                if self._trace is not None:
+                    self._trace.vm_retired(self.env.now, vm.name)
                 return
+        host_name = vm.host.name if vm.host is not None else ""
         self.cluster.remove_vm(vm)
+        if self._trace is not None:
+            self._trace.vm_retired(self.env.now, vm.name, host=host_name)
 
     def _pick_host_for(self, vm: VM) -> Optional[Host]:
         """Best-fit host for a new VM under the CPU target + memory."""
@@ -199,6 +223,11 @@ class PowerAwareManager:
             if timeout is not None and self.env.now - queued_at > timeout:
                 self.log.admissions_timed_out += 1
                 self.log.record(self.env.now, "admit-timeout", vm.name)
+                if self._trace is not None:
+                    self._trace.admission(
+                        self.env.now, "admit-timeout", vm.name,
+                        wait_s=self.env.now - queued_at,
+                    )
                 continue
             host = self._pick_host_for(vm)
             if host is None:
@@ -213,6 +242,11 @@ class PowerAwareManager:
                 "admit-placed",
                 "{}->{} after {:.0f}s".format(vm.name, host.name, wait),
             )
+            if self._trace is not None:
+                self._trace.admission(
+                    self.env.now, "admit-placed", vm.name,
+                    host=host.name, wait_s=wait,
+                )
         self._pending = still_waiting
         if self._pending:
             self._request_capacity(sum(vm.vcpus for vm, _ in self._pending))
@@ -270,6 +304,11 @@ class PowerAwareManager:
                 continue
             if not move.dst.fits(move.vm):
                 continue
+            if self._trace is not None:
+                self._trace.decision(
+                    now, "balance", host=move.src.name,
+                    detail="{}->{}".format(move.vm.name, move.dst.name),
+                )
             self.engine.migrate(move.vm, move.dst)
             self.log.balancer_moves += 1
             self.log.record(
@@ -311,9 +350,8 @@ class PowerAwareManager:
                 demand / self.config.cpu_target - committed,
                 cap_cores - committed,
             )
-            self.log.reactive_wakes += 1
-            self.log.record(
-                now, "reactive-wake", "{:.1f} cores short".format(shortfall)
+            self._record_reactive_wake(
+                now, "aggregate", shortfall, demand, committed, cap_cores
             )
             self._grow(shortfall, reactive=True)
             return
@@ -326,14 +364,45 @@ class PowerAwareManager:
             for h in self.cluster.placeable_hosts()
         )
         if overload > 0.25 and overload > headroom_free:
-            self.log.reactive_wakes += 1
-            self.log.record(
-                now, "reactive-wake", "host overload {:.1f} cores".format(overload)
+            shortfall = min(overload, cap_cores - committed)
+            self._record_reactive_wake(
+                now, "host-overload", shortfall, demand, committed, cap_cores
             )
-            self._grow(min(overload, cap_cores - committed), reactive=True)
+            self._grow(shortfall, reactive=True)
             # Give the balancer an immediate chance to use new capacity
             # once it wakes; meanwhile spread what we can.
             self._balance()
+
+    def _record_reactive_wake(
+        self,
+        now: float,
+        trigger: str,
+        shortfall: float,
+        demand: float,
+        committed: float,
+        cap_cores: float,
+    ) -> None:
+        """Book a watchdog intervention with its triggering shortfall.
+
+        The shortfall travels as a structured payload (log field + trace
+        event), not just prose, so tests and the trace checker can assert
+        every reactive wake was justified.
+        """
+        self.log.reactive_wakes += 1
+        self.log.reactive_wake_events.append((now, trigger, shortfall))
+        self.log.record(
+            now, "reactive-wake",
+            "{}: {:.1f} cores short".format(trigger, shortfall),
+        )
+        if self._trace is not None:
+            self._trace.watchdog_wake(
+                now, trigger,
+                shortfall_cores=shortfall,
+                demand_cores=demand,
+                committed_cores=committed,
+                # -1 encodes "uncapped" (the cap itself is +inf).
+                cap_cores=cap_cores if math.isfinite(cap_cores) else -1.0,
+            )
 
     def _grow(self, cores_short: float, reactive: bool) -> None:
         # 1) Cancelling an in-flight evacuation is free capacity.
@@ -344,6 +413,8 @@ class PowerAwareManager:
                 task.cancel()
                 cores_short -= task.host.cores
                 self.log.record(self.env.now, "evac-cancel", task.host.name)
+                if self._trace is not None:
+                    self._trace.decision(self.env.now, "evac-cancel", task.host.name)
         if cores_short <= 0:
             return
         # 2) Wake parked hosts, fastest exit first; among equals, prefer
@@ -364,9 +435,16 @@ class PowerAwareManager:
             if not self._cap_allows_wake(host):
                 self.log.cap_deferrals += 1
                 self.log.record(self.env.now, "cap-defer", host.name)
+                if self._trace is not None:
+                    self._trace.decision(self.env.now, "cap-defer", host.name)
                 continue
             self.log.wakes_requested += 1
             self.log.record(self.env.now, "wake", host.name)
+            if self._trace is not None:
+                self._trace.decision(
+                    self.env.now, "wake", host.name,
+                    detail="reactive" if reactive else "predictive",
+                )
             self.env.process(self._wake(host))
 
     def _cap_capacity_cores(self) -> float:
@@ -406,6 +484,8 @@ class PowerAwareManager:
             # different host) on its next tick; just record it.
             self.log.wake_failures += 1
             self.log.record(self.env.now, "wake-failed", host.name)
+            if self._trace is not None:
+                self._trace.decision(self.env.now, "wake-failed", host.name)
         self._drain_pending()
 
     # ------------------------------------------------------------------
@@ -443,6 +523,8 @@ class PowerAwareManager:
                 targets,
                 demand_fn=lambda vm: vm.demand_cores(now),
                 cpu_target=target,
+                trace=self._trace,
+                now=now,
             )
             if plan is None:
                 continue
@@ -451,6 +533,11 @@ class PowerAwareManager:
             host.evacuating = True
             self.log.evacuations_started += 1
             self.log.record(now, "evac-start", host.name)
+            if self._trace is not None:
+                self._trace.decision(
+                    now, "evac-start", host.name,
+                    detail="{} vm(s)".format(len(plan)),
+                )
             self.env.process(self._evacuate_and_park(task))
             surplus_cores -= host.cores
             parks += 1
@@ -518,12 +605,27 @@ class PowerAwareManager:
             state = self._choose_park_state()
             self.log.parks_started += 1
             self.log.record(self.env.now, "park", "{}->{}".format(host.name, state.value))
+            if self._trace is not None:
+                # The completed-evacuation marker must land at the same
+                # instant as the park decision and the transition itself —
+                # that ordering is a checked trace invariant.
+                self._trace.evacuation_end(self.env.now, host.name, "complete")
+                self._trace.decision(
+                    self.env.now, "park", host.name, detail=state.value
+                )
             # Keep `evacuating` True until parked so no placement sneaks in.
             yield self.env.process(host.park(state))
             self.log.parks_completed += 1
+            if self._trace is not None:
+                self._trace.decision(self.env.now, "park-complete", host.name)
         else:
             self.log.evacuations_aborted += 1
             self.log.record(self.env.now, "evac-abort", host.name)
+            if self._trace is not None:
+                self._trace.evacuation_end(
+                    self.env.now, host.name,
+                    "cancelled" if task.cancelled else "aborted",
+                )
         host.evacuating = False
         self._evacs.pop(host.name, None)
 
@@ -546,6 +648,8 @@ class PowerAwareManager:
             raise RuntimeError("{} is already in maintenance".format(host.name))
         host.in_maintenance = True
         self.log.record(self.env.now, "maintenance-start", host.name)
+        if self._trace is not None:
+            self._trace.decision(self.env.now, "maintenance-start", host.name)
         return self.env.process(self._maintenance_drain(host))
 
     def end_maintenance(self, host: Host) -> Optional["Process"]:
@@ -554,7 +658,13 @@ class PowerAwareManager:
             raise RuntimeError("{} is not in maintenance".format(host.name))
         host.in_maintenance = False
         self.log.record(self.env.now, "maintenance-end", host.name)
+        if self._trace is not None:
+            self._trace.decision(self.env.now, "maintenance-end", host.name)
         if host.state.is_parked and not host.machine.in_transition:
+            if self._trace is not None:
+                self._trace.decision(
+                    self.env.now, "wake", host.name, detail="maintenance-end"
+                )
             return self.env.process(self._wake(host))
         return None
 
@@ -574,12 +684,21 @@ class PowerAwareManager:
             [t for t in self.cluster.placeable_hosts() if t is not host],
             demand_fn=lambda vm: vm.demand_cores(now),
             cpu_target=1.0,
+            trace=self._trace,
+            now=now,
         )
         if plan is None:
             host.in_maintenance = False
             self.log.record(self.env.now, "maintenance-abort", host.name)
+            if self._trace is not None:
+                self._trace.decision(self.env.now, "maintenance-abort", host.name)
             return False
         host.evacuating = True
+        if self._trace is not None:
+            self._trace.decision(
+                now, "evac-start", host.name,
+                detail="maintenance, {} vm(s)".format(len(plan)),
+            )
         migrations = []
         for vm, dst in plan:
             if vm.host is host and not vm.migrating and dst.is_active:
@@ -590,10 +709,21 @@ class PowerAwareManager:
             host.evacuating = False
             host.in_maintenance = False
             self.log.record(self.env.now, "maintenance-abort", host.name)
+            if self._trace is not None:
+                self._trace.evacuation_end(self.env.now, host.name, "aborted")
+                self._trace.decision(self.env.now, "maintenance-abort", host.name)
             return False
-        yield self.env.process(host.park(self._maintenance_park_state(host)))
+        park_state = self._maintenance_park_state(host)
+        if self._trace is not None:
+            self._trace.evacuation_end(self.env.now, host.name, "complete")
+            self._trace.decision(
+                self.env.now, "park", host.name, detail=park_state.value
+            )
+        yield self.env.process(host.park(park_state))
         host.evacuating = False
         self.log.record(self.env.now, "maintenance-down", host.name)
+        if self._trace is not None:
+            self._trace.decision(self.env.now, "maintenance-down", host.name)
         return True
 
     # ------------------------------------------------------------------

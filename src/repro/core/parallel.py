@@ -167,15 +167,26 @@ class ScenarioArtifacts:
     sampler: SamplerSnapshot
     cluster: ClusterSnapshot
     manager: ManagerSnapshot
+    #: SHA-256 of the decision-trace JSONL (only with ``trace=True`` specs).
+    trace_hash: Optional[str] = None
+    #: The full decision-trace JSONL stream, or None when tracing was off.
+    trace_jsonl: Optional[str] = None
 
 
 def snapshot_result(result: "ScenarioResult") -> ScenarioArtifacts:
     """Freeze a live :class:`~repro.core.ScenarioResult` into artifacts."""
+    trace_hash = None
+    trace_jsonl = None
+    if result.trace is not None:
+        trace_jsonl = result.trace.to_jsonl()
+        trace_hash = result.trace.trace_hash()
     return ScenarioArtifacts(
         report=result.report,
         sampler=SamplerSnapshot(result.sampler),
         cluster=ClusterSnapshot(result.cluster),
         manager=ManagerSnapshot(result.manager),
+        trace_hash=trace_hash,
+        trace_jsonl=trace_jsonl,
     )
 
 
@@ -198,6 +209,8 @@ class ScenarioSpec:
     config: ManagerConfig
     kwargs: Dict[str, Any] = field(default_factory=dict)
     label: Optional[str] = None
+    #: Capture a decision trace; the artifacts then carry its JSONL + hash.
+    trace: bool = False
 
     @property
     def name(self) -> str:
@@ -205,13 +218,19 @@ class ScenarioSpec:
 
     def digest(self) -> str:
         """Content hash for caching; raises ``Uncacheable`` when impossible."""
-        return scenario_digest(self.config, self.kwargs)
+        # Folded in only when set, so plain specs keep their old digests
+        # (and their old cache entries, which predate tracing).
+        extra = {"trace": True} if self.trace else None
+        return scenario_digest(self.config, self.kwargs, extra=extra)
 
     def run(self) -> ScenarioArtifacts:
         """Execute the scenario in this process and freeze the outcome."""
         from repro.core.runner import run_scenario
 
-        return snapshot_result(run_scenario(self.config, **self.kwargs))
+        kwargs = dict(self.kwargs)
+        if self.trace:
+            kwargs.setdefault("trace", True)
+        return snapshot_result(run_scenario(self.config, **kwargs))
 
 
 def _execute_spec(spec: ScenarioSpec) -> ScenarioArtifacts:

@@ -27,6 +27,7 @@ from repro.prototype.calibration import make_prototype_blade_profile
 from repro.sim import Environment
 from repro.telemetry.metrics import SimReport, build_report
 from repro.telemetry.sampler import ClusterSampler
+from repro.telemetry.trace import TraceBuffer
 from repro.workload.churn import ChurnGenerator
 from repro.workload.fleet import FleetSpec, build_fleet
 
@@ -42,6 +43,8 @@ class ScenarioResult:
     engine: MigrationEngine
     env: Environment
     churn: Optional[ChurnGenerator] = None
+    #: Decision trace (only when the scenario ran with ``trace=True``).
+    trace: Optional[TraceBuffer] = None
 
 
 def _placement_failure(vm: VM, cluster: Cluster) -> str:
@@ -107,6 +110,8 @@ def run_scenario(
     churn_rate_per_h: float = 0.0,
     churn_lifetime_s: float = 6 * 3600.0,
     fault_model: Optional[FaultModel] = None,
+    trace: bool = False,
+    trace_maxlen: Optional[int] = None,
 ) -> ScenarioResult:
     """Run one managed-cluster simulation end to end.
 
@@ -124,10 +129,20 @@ def run_scenario(
         churn_rate_per_h: VM arrivals per hour (0 disables churn).
         fault_model: optional wake-failure injection (see
             :class:`repro.datacenter.FaultModel`).
+        trace: record a structured decision trace (see
+            :mod:`repro.telemetry.trace`) into ``result.trace``.
+        trace_maxlen: bounded-buffer capacity (None = library default).
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
     env = Environment()
+    buf: Optional[TraceBuffer] = None
+    if trace:
+        buf = (
+            TraceBuffer(maxlen=trace_maxlen, label=config.name)
+            if trace_maxlen is not None
+            else TraceBuffer(label=config.name)
+        )
     profile = profile or make_prototype_blade_profile()
     dvfs = DvfsModel() if config.enable_dvfs else None
     cluster = Cluster.homogeneous(
@@ -140,14 +155,19 @@ def run_scenario(
         dvfs_target=config.dvfs_target,
         faults=fault_model,
         fault_seed=seed,
+        trace=buf,
     )
     if fleet is None:
         spec = fleet_spec or FleetSpec(n_vms=n_vms, horizon_s=min(horizon_s, 7 * 86_400.0))
         fleet = build_fleet(spec, seed=seed)
     spread_placement(fleet, cluster)
+    if buf is not None:
+        for vm in fleet:
+            if vm.host is not None:
+                buf.admission(env.now, "initial-place", vm.name, host=vm.host.name)
 
-    engine = MigrationEngine(env, model=migration_model)
-    manager = PowerAwareManager(env, cluster, engine, config)
+    engine = MigrationEngine(env, model=migration_model, trace=buf)
+    manager = PowerAwareManager(env, cluster, engine, config, trace=buf)
     sampler = ClusterSampler(env, cluster, epoch_s=epoch_s)
     sampler.start()
     manager.start()
@@ -166,6 +186,21 @@ def run_scenario(
         churn.start()
 
     env.run(until=horizon_s)
+
+    if buf is not None:
+        for h in cluster.hosts:
+            buf.host_final(
+                env.now, h.name, h.state.value, h.energy_j(),
+                h.wake_failures, h.out_of_service,
+            )
+        buf.run_end(
+            env.now,
+            horizon_s=horizon_s,
+            energy_kwh=cluster.energy_j() / 3.6e6,
+            hosts=len(cluster.hosts),
+            vms=cluster.vm_count,
+            migrations_unfinished=engine.unfinished,
+        )
 
     report = build_report(config.name, cluster, sampler, engine, horizon_s)
     report.extra.update(
@@ -205,4 +240,5 @@ def run_scenario(
         engine=engine,
         env=env,
         churn=churn,
+        trace=buf,
     )

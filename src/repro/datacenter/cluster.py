@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:
     from repro.sim.environment import Environment
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.datacenter.faults import FaultModel
 from repro.datacenter.host import Host
@@ -41,6 +42,7 @@ class Cluster:
         dvfs_target: float = 0.8,
         faults: Optional[FaultModel] = None,
         fault_seed: int = 0,
+        trace: Optional["TraceBuffer"] = None,
     ) -> "Cluster":
         """Build ``n_hosts`` identical hosts named ``host-000`` …"""
         if n_hosts < 1:
@@ -57,6 +59,7 @@ class Cluster:
                 dvfs_target=dvfs_target,
                 faults=faults,
                 fault_seed=fault_seed,
+                trace=trace,
             )
             for i in range(n_hosts)
         ]
@@ -68,6 +71,7 @@ class Cluster:
         env: "Environment",
         generations: List[Dict[str, Any]],
         fault_seed: int = 0,
+        trace: Optional["TraceBuffer"] = None,
     ) -> "Cluster":
         """Build a mixed-generation cluster.
 
@@ -90,6 +94,7 @@ class Cluster:
                         "gen{}-{:03d}".format(gen_index, j),
                         profile,
                         fault_seed=fault_seed,
+                        trace=trace,
                         **spec,
                     )
                 )

@@ -18,8 +18,12 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.telemetry.trace import TraceBuffer
 
 
 @dataclass(frozen=True)
@@ -37,20 +41,39 @@ class FaultModel:
 
 
 class FaultInjector:
-    """Seeded per-host draw source; deterministic per (seed, host name)."""
+    """Seeded per-host draw source; deterministic per (seed, host name).
 
-    def __init__(self, model: FaultModel, seed: int, host_name: str) -> None:
+    When a decision-trace buffer is attached, every positive draw emits a
+    ``fault-injected`` event, so the trace invariant checker can reconcile
+    injected faults against failed wake transitions.
+    """
+
+    def __init__(
+        self,
+        model: FaultModel,
+        seed: int,
+        host_name: str,
+        trace: Optional["TraceBuffer"] = None,
+    ) -> None:
         self.model = model
+        self.host_name = host_name
+        self._trace = trace
         # Stable across processes (unlike built-in hash, which is salted).
         digest = zlib.crc32("{}:{}".format(seed, host_name).encode())
         self._rng = np.random.default_rng(digest)
 
-    def draw_wake_failure(self) -> bool:
+    def draw_wake_failure(self, t: float = 0.0) -> bool:
         if self.model.wake_failure_rate <= 0:
             return False
-        return bool(self._rng.random() < self.model.wake_failure_rate)
+        failed = bool(self._rng.random() < self.model.wake_failure_rate)
+        if failed and self._trace is not None:
+            self._trace.fault_injected(t, self.host_name, permanent=False)
+        return failed
 
-    def draw_permanent(self) -> bool:
+    def draw_permanent(self, t: float = 0.0) -> bool:
         if self.model.permanent_fraction <= 0:
             return False
-        return bool(self._rng.random() < self.model.permanent_fraction)
+        permanent = bool(self._rng.random() < self.model.permanent_fraction)
+        if permanent and self._trace is not None:
+            self._trace.fault_injected(t, self.host_name, permanent=True)
+        return permanent

@@ -9,6 +9,7 @@ if TYPE_CHECKING:
 
     from repro.sim.environment import Environment
     from repro.sim.events import Event
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.datacenter.faults import FaultInjector, FaultModel
 from repro.datacenter.vm import Priority, VM
@@ -58,6 +59,7 @@ class Host:
         dvfs_target: float = 0.8,
         faults: Optional[FaultModel] = None,
         fault_seed: int = 0,
+        trace: Optional["TraceBuffer"] = None,
     ) -> None:
         if cores <= 0 or mem_gb <= 0:
             raise ValueError("cores and mem_gb must be positive")
@@ -74,6 +76,8 @@ class Host:
             initial_state=initial_state,
             record_trace=record_power_trace,
             latency_rng=_latency_rng(fault_seed, name),
+            name=name,
+            trace=trace,
         )
         if not 0.0 < dvfs_target <= 1.0:
             raise ValueError("dvfs_target must be in (0, 1]")
@@ -96,7 +100,7 @@ class Host:
         self.frequency = 1.0
         #: Optional wake-failure injection.
         self._injector = (
-            FaultInjector(faults, fault_seed, name) if faults else None
+            FaultInjector(faults, fault_seed, name, trace=trace) if faults else None
         )
         #: Count of wake attempts that failed (transient or permanent).
         self.wake_failures = 0
@@ -108,6 +112,10 @@ class Host:
         #: Set by the manager while the host is earmarked for parking, so
         #: the placement layer stops assigning new VMs to it.
         self.evacuating = False
+        if trace is not None:
+            trace.host_init(
+                env.now, name, initial_state.value, self.cores, self.mem_gb
+            )
 
     # ------------------------------------------------------------------
     # Capacity accounting
@@ -321,10 +329,14 @@ class Host:
         """
         if self.out_of_service:
             raise HostNotActive("{} is out of service".format(self.name))
-        fail = self._injector.draw_wake_failure() if self._injector else False
+        fail = (
+            self._injector.draw_wake_failure(self.env.now)
+            if self._injector
+            else False
+        )
         if fail:
             self.wake_failures += 1
-            if self._injector.draw_permanent():
+            if self._injector.draw_permanent(self.env.now):
                 return self._failed_wake_permanent()
         return self.machine.transition_to(PowerState.ACTIVE, fail=fail)
 

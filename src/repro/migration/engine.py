@@ -13,7 +13,10 @@ Responsibilities beyond the analytic model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.datacenter.host import Host
 from repro.datacenter.vm import VM
@@ -44,6 +47,7 @@ class MigrationEngine:
         model: Optional[PreCopyModel] = None,
         max_concurrent: int = 4,
         max_per_host: int = 2,
+        trace: Optional["TraceBuffer"] = None,
     ) -> None:
         if max_concurrent < 1 or max_per_host < 1:
             raise ValueError("concurrency caps must be >= 1")
@@ -52,10 +56,13 @@ class MigrationEngine:
         self._cluster_slots = Resource(env, capacity=max_concurrent)
         self._host_slots: Dict[str, Resource] = {}
         self._max_per_host = max_per_host
+        self._trace = trace
         self.records: List[MigrationRecord] = []
         self.in_flight = 0
         self.completed = 0
         self.aborted = 0
+        #: Total migrations admitted (drives unique trace migration ids).
+        self.started = 0
 
     def _slots_for(self, host: Host) -> Resource:
         if host.name not in self._host_slots:
@@ -92,9 +99,20 @@ class MigrationEngine:
         if vm.anti_affinity_group is not None:
             dst.groups_reserved.add(vm.anti_affinity_group)
         vm.migrating = True
-        return self.env.process(self._run(vm, src, dst))
+        migration_id = "m{:06d}".format(self.started)
+        self.started += 1
+        if self._trace is not None:
+            self._trace.migration_start(
+                self.env.now, migration_id, vm.name, src.name, dst.name
+            )
+        return self.env.process(self._run(vm, src, dst, migration_id))
 
-    def _run(self, vm: VM, src: Host, dst: Host):
+    @property
+    def unfinished(self) -> int:
+        """Migrations admitted but not yet finished or aborted."""
+        return self.started - len(self.records)
+
+    def _run(self, vm: VM, src: Host, dst: Host, migration_id: str = ""):
         outcome = self.model.solve(vm.mem_gb, vm.dirty_rate_gbps)
         start = self.env.now
         with self._cluster_slots.request() as cluster_slot:
@@ -140,6 +158,18 @@ class MigrationEngine:
             aborted=aborted,
         )
         self.records.append(record)
+        if self._trace is not None:
+            self._trace.migration_end(
+                self.env.now,
+                migration_id,
+                vm.name,
+                src.name,
+                dst.name,
+                aborted=aborted,
+                duration_s=record.duration_s,
+                downtime_s=record.downtime_s,
+                transferred_gb=record.transferred_gb,
+            )
         return record
 
     # ------------------------------------------------------------------

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.datacenter.host import Host
 from repro.datacenter.vm import VM
@@ -15,6 +18,8 @@ def plan_evacuation(
     targets: Sequence[Host],
     demand_fn: DemandFn,
     cpu_target: float = 0.85,
+    trace: Optional["TraceBuffer"] = None,
+    now: float = 0.0,
 ) -> Optional[List[Tuple[VM, Host]]]:
     """Plan destinations for every VM on ``host``, or None if impossible.
 
@@ -49,6 +54,8 @@ def plan_evacuation(
     movable = [vm for vm in host.vms.values() if not vm.migrating]
     if len(movable) != len(host.vms):
         # In-flight migrations pin the host; caller should retry later.
+        if trace is not None:
+            trace.evacuation_planned(now, host.name, len(host.vms), ok=False)
         return None
 
     plan: List[Tuple[VM, Host]] = []
@@ -65,6 +72,8 @@ def plan_evacuation(
             )
         ]
         if not fitting:
+            if trace is not None:
+                trace.evacuation_planned(now, host.name, len(movable), ok=False)
             return None
         dst = min(fitting, key=lambda t: cpu_budget[t.name] - demand)
         cpu_budget[dst.name] -= demand
@@ -72,4 +81,6 @@ def plan_evacuation(
         if vm.anti_affinity_group is not None:
             groups[dst.name].add(vm.anti_affinity_group)
         plan.append((vm, dst))
+    if trace is not None:
+        trace.evacuation_planned(now, host.name, len(plan), ok=True)
     return plan

@@ -8,7 +8,10 @@ transitions, transition latency, and correct power draw at every instant.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.telemetry.trace import TraceBuffer
 
 from repro.power.energy import EnergyMeter
 from repro.power.profiles import ServerPowerProfile
@@ -29,9 +32,15 @@ class HostPowerStateMachine:
         initial_state: PowerState = PowerState.ACTIVE,
         record_trace: bool = False,
         latency_rng=None,
+        name: str = "",
+        trace: Optional["TraceBuffer"] = None,
     ) -> None:
         self.env = env
         self.profile = profile
+        #: Host name used in decision-trace events (empty = anonymous).
+        self.name = name
+        #: Decision-trace sink; None disables tracing at zero cost.
+        self._trace = trace
         self._state = initial_state
         self._utilization = 0.0
         self._dynamic_scale = 1.0
@@ -148,7 +157,13 @@ class HostPowerStateMachine:
         self._mark()
         self._transition = (src, dst)
         self.meter.set_power(self.env.now, spec.power_w)
-        yield self.env.timeout(spec.sample_latency_s(self.latency_rng))
+        latency_s = spec.sample_latency_s(self.latency_rng)
+        if self._trace is not None:
+            self._trace.transition_start(
+                self.env.now, self.name, src.value, dst.value, latency_s,
+                spec.power_w,
+            )
+        yield self.env.timeout(latency_s)
         self._mark()
         self._transition = None
         if fail:
@@ -157,6 +172,11 @@ class HostPowerStateMachine:
                 self.meter.set_power(self.env.now, self._active_power())
             else:
                 self.meter.set_power(self.env.now, self.profile.stable_power(src))
+            if self._trace is not None:
+                self._trace.transition_end(
+                    self.env.now, self.name, src.value, dst.value, src.value,
+                    failed=True,
+                )
             return src
         self._state = dst
         self.transition_counts[(src, dst)] += 1
@@ -164,6 +184,11 @@ class HostPowerStateMachine:
             self.meter.set_power(self.env.now, self._active_power())
         else:
             self.meter.set_power(self.env.now, self.profile.stable_power(dst))
+        if self._trace is not None:
+            self._trace.transition_end(
+                self.env.now, self.name, src.value, dst.value, dst.value,
+                failed=False,
+            )
         return dst
 
     # ------------------------------------------------------------------

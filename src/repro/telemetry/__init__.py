@@ -9,10 +9,34 @@ reads (power, capacity, shortfall, host counts).
 from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.sampler import ClusterSampler
 from repro.telemetry.metrics import SimReport, build_report
+from repro.telemetry.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceBuffer,
+    TraceError,
+    TraceEvent,
+    TraceLog,
+    parse_trace,
+    read_trace,
+)
+from repro.telemetry.validate import (
+    TraceValidationReport,
+    Violation,
+    validate_trace,
+)
 
 __all__ = [
     "ClusterSampler",
     "SimReport",
     "TimeSeries",
+    "TRACE_SCHEMA_VERSION",
+    "TraceBuffer",
+    "TraceError",
+    "TraceEvent",
+    "TraceLog",
+    "TraceValidationReport",
+    "Violation",
     "build_report",
+    "parse_trace",
+    "read_trace",
+    "validate_trace",
 ]

@@ -1,0 +1,500 @@
+"""Trace invariant checker: replay a decision trace and certify it.
+
+The checker replays a trace (live :class:`~repro.telemetry.trace.TraceBuffer`
+or a parsed :class:`~repro.telemetry.trace.TraceLog`) and asserts the
+behavioural invariants the paper's claims rest on.  Every invariant has a
+stable id so tests and CI output can pinpoint which property broke:
+
+``truncated``
+    The bounded buffer overflowed; an incomplete trace certifies nothing.
+``schema``
+    Unknown schema version, unknown event type, or malformed record.
+``sequence``
+    Sequence numbers must be contiguous and timestamps non-decreasing.
+``state-machine``
+    Host power-state continuity: every transition starts from the tracked
+    state, begin/end events pair up (no overlap), the resulting state is
+    consistent with the failure flag, and the final state matches the
+    end-of-run ``host-final`` record.
+``wake-from-active``
+    A transition to ACTIVE may only start from a parked state.
+``transition-latency``
+    A transition's wall-clock span must equal its *sampled* latency —
+    the resume latency is sampled exactly once per wake.
+``untraced-park`` / ``untraced-wake``
+    Every park/wake transition must be announced by a manager decision at
+    the same instant; transitions that bypass the traced decision API are
+    exactly the regressions this layer exists to catch (see lint RL009).
+``park-after-evacuation``
+    A park may begin only after the host's evacuation completed (at the
+    same instant), and ``park-occupied`` flags any VM still resident.
+``evacuation-lifecycle``
+    Every evacuation end matches exactly one open evacuation start.
+``migration-conservation``
+    Every migration start has exactly one finish/abort; unmatched starts
+    must equal the ``run-end`` in-flight count.
+``residency``
+    VM placement bookkeeping (admissions, retirements, migration
+    switch-overs) must stay consistent, and the end-of-run VM count must
+    reconcile.
+``fault-accounting``
+    Every injected wake fault must surface as a failed wake transition.
+``energy``
+    Per-host trace energy must sum to the run total, which must match the
+    ``SimReport`` when one is supplied.
+``watchdog-payload``
+    Reactive wakes must carry the positive triggering shortfall.
+``run-end``
+    A complete scenario trace ends with per-host finals and one run-end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.telemetry.trace import (
+    TRACE_SCHEMA_VERSION,
+    AdmissionEvent,
+    EvacuationEnd,
+    EvacuationPlanned,
+    FaultInjected,
+    HostFinal,
+    HostInit,
+    ManagerDecision,
+    MigrationEnd,
+    MigrationStart,
+    RunEnd,
+    TraceBuffer,
+    TraceError,
+    TraceEvent,
+    TraceLog,
+    TransitionEnd,
+    TransitionStart,
+    VmRetired,
+    WatchdogWake,
+    event_from_record,
+)
+
+_ACTIVE = "active"
+
+#: Admission actions that bind a VM to a host.
+_PLACING_ACTIONS = frozenset({"admit", "admit-placed", "initial-place"})
+
+#: Absolute tolerance for transition wall-clock vs. sampled latency.
+_LATENCY_TOL_S = 1e-6
+
+#: Relative tolerance for energy reconciliation.
+_ENERGY_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant at one trace position."""
+
+    invariant: str
+    seq: int
+    t: float
+    message: str
+
+    def render(self) -> str:
+        return "seq {:>6} t={:>12.1f}  [{}] {}".format(
+            self.seq, self.t, self.invariant, self.message
+        )
+
+
+@dataclass
+class TraceValidationReport:
+    """Outcome of one validation pass."""
+
+    violations: List[Violation] = field(default_factory=list)
+    events_checked: int = 0
+    hosts_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def invariants_violated(self) -> List[str]:
+        return sorted({v.invariant for v in self.violations})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "events_checked": self.events_checked,
+            "hosts_seen": self.hosts_seen,
+            "violations": [
+                {
+                    "invariant": v.invariant,
+                    "seq": v.seq,
+                    "t": v.t,
+                    "message": v.message,
+                }
+                for v in self.violations
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines.append(
+            "trace check: {} violation(s) over {} event(s), {} host(s)".format(
+                len(self.violations), self.events_checked, self.hosts_seen
+            )
+        )
+        return "\n".join(lines)
+
+
+class _HostState:
+    """Per-host replay state."""
+
+    __slots__ = ("state", "open_transition", "faults", "failed_wakes", "finalized")
+
+    def __init__(self, state: str) -> None:
+        self.state = state
+        self.open_transition: Optional[Tuple[int, TransitionStart]] = None
+        self.faults = 0
+        self.failed_wakes = 0
+        self.finalized = False
+
+
+def _sequenced(
+    trace: Union[TraceBuffer, TraceLog, List[TraceEvent]],
+    out: TraceValidationReport,
+) -> Tuple[List[Tuple[int, TraceEvent]], int]:
+    """Normalize the input into ``[(seq, event)]`` plus the dropped count."""
+    if isinstance(trace, TraceBuffer):
+        return list(enumerate(trace.events)), trace.dropped
+    if isinstance(trace, list):
+        return list(enumerate(trace)), 0
+    if trace.schema != TRACE_SCHEMA_VERSION:
+        out.violations.append(
+            Violation(
+                "schema",
+                -1,
+                0.0,
+                "unsupported trace schema {!r} (checker speaks {})".format(
+                    trace.schema, TRACE_SCHEMA_VERSION
+                ),
+            )
+        )
+        return [], trace.dropped
+    events: List[Tuple[int, TraceEvent]] = []
+    for record in trace.records:
+        seq = record.get("seq", -1)
+        try:
+            events.append((int(seq), event_from_record(record)))
+        except (TraceError, TypeError, ValueError) as exc:
+            out.violations.append(
+                Violation("schema", int(seq) if isinstance(seq, int) else -1,
+                          0.0, str(exc))
+            )
+    return events, trace.dropped
+
+
+def validate_trace(
+    trace: Union[TraceBuffer, TraceLog, List[TraceEvent]],
+    report: Optional[Any] = None,
+    require_run_end: bool = True,
+) -> TraceValidationReport:
+    """Replay ``trace`` and check every invariant.
+
+    Args:
+        trace: a live buffer, a parsed JSONL log, or a bare event list.
+        report: optional :class:`~repro.telemetry.SimReport` to reconcile
+            energy and horizon against.
+        require_run_end: demand the end-of-run reconciliation records
+            (disable for partial/synthetic traces in unit tests).
+    """
+    out = TraceValidationReport()
+    events, dropped = _sequenced(trace, out)
+    out.events_checked = len(events)
+    if dropped:
+        out.violations.append(
+            Violation(
+                "truncated",
+                -1,
+                0.0,
+                "{} event(s) were dropped by the bounded buffer; an "
+                "incomplete trace cannot be certified".format(dropped),
+            )
+        )
+        return out
+
+    def flag(invariant: str, seq: int, t: float, message: str) -> None:
+        out.violations.append(Violation(invariant, seq, t, message))
+
+    hosts: Dict[str, _HostState] = {}
+    residency: Dict[str, str] = {}
+    open_evacs: Set[str] = set()
+    last_evac_end: Dict[str, EvacuationEnd] = {}
+    last_decision: Dict[Tuple[str, str], float] = {}
+    open_migrations: Dict[str, MigrationStart] = {}
+    finished_migrations: Set[str] = set()
+    host_finals: Dict[str, HostFinal] = {}
+    run_end: Optional[RunEnd] = None
+    prev_seq: Optional[int] = None
+    prev_t: Optional[float] = None
+
+    for seq, ev in events:
+        if prev_seq is not None and seq != prev_seq + 1:
+            flag("sequence", seq, ev.t,
+                 "sequence jumped from {} to {}".format(prev_seq, seq))
+        elif prev_seq is None and seq != 0:
+            flag("sequence", seq, ev.t, "trace does not start at seq 0")
+        prev_seq = seq
+        if prev_t is not None and ev.t < prev_t - 1e-12:
+            flag("sequence", seq, ev.t,
+                 "time went backwards ({} after {})".format(ev.t, prev_t))
+        prev_t = ev.t
+
+        if run_end is not None and not isinstance(ev, (HostFinal, RunEnd)):
+            flag("run-end", seq, ev.t,
+                 "{} event after run-end".format(ev.event))
+
+        if isinstance(ev, HostInit):
+            if ev.host in hosts:
+                flag("state-machine", seq, ev.t,
+                     "duplicate host-init for {}".format(ev.host))
+            hosts[ev.host] = _HostState(ev.state)
+        elif isinstance(ev, TransitionStart):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("state-machine", seq, ev.t,
+                     "transition on unknown host {}".format(ev.host))
+                hosts[ev.host] = state = _HostState(ev.src)
+            if state.open_transition is not None:
+                flag("state-machine", seq, ev.t,
+                     "{}: transition {}->{} started while {}->{} still "
+                     "running".format(ev.host, ev.src, ev.dst,
+                                      state.open_transition[1].src,
+                                      state.open_transition[1].dst))
+            if ev.src != state.state:
+                flag("state-machine", seq, ev.t,
+                     "{}: transition claims src {} but tracked state is "
+                     "{}".format(ev.host, ev.src, state.state))
+            if ev.dst == _ACTIVE:
+                if state.state == _ACTIVE:
+                    flag("wake-from-active", seq, ev.t,
+                         "{}: wake requested while already active".format(ev.host))
+                if last_decision.get((ev.host, "wake")) != ev.t:
+                    flag("untraced-wake", seq, ev.t,
+                         "{}: wake transition without a same-instant wake "
+                         "decision".format(ev.host))
+            else:
+                if last_decision.get((ev.host, "park")) != ev.t:
+                    flag("untraced-park", seq, ev.t,
+                         "{}: park transition without a same-instant park "
+                         "decision".format(ev.host))
+                evac = last_evac_end.get(ev.host)
+                if evac is None or evac.outcome != "complete" or evac.t != ev.t:
+                    flag("park-after-evacuation", seq, ev.t,
+                         "{}: park began without a completed evacuation at "
+                         "the same instant".format(ev.host))
+                resident = sorted(
+                    vm for vm, host in residency.items() if host == ev.host
+                )
+                if resident:
+                    flag("park-occupied", seq, ev.t,
+                         "{}: parking with {} resident VM(s): {}".format(
+                             ev.host, len(resident), ", ".join(resident[:5])))
+            state.open_transition = (seq, ev)
+        elif isinstance(ev, TransitionEnd):
+            state = hosts.get(ev.host)
+            if state is None or state.open_transition is None:
+                flag("state-machine", seq, ev.t,
+                     "{}: transition-end without a matching start".format(ev.host))
+                if state is not None:
+                    state.state = ev.state
+                continue
+            start_seq, start = state.open_transition
+            state.open_transition = None
+            if (start.src, start.dst) != (ev.src, ev.dst):
+                flag("state-machine", seq, ev.t,
+                     "{}: transition-end {}->{} does not match start "
+                     "{}->{}".format(ev.host, ev.src, ev.dst, start.src, start.dst))
+            span = ev.t - start.t
+            if abs(span - start.latency_s) > _LATENCY_TOL_S:
+                flag("transition-latency", seq, ev.t,
+                     "{}: transition took {:.6f}s but sampled latency was "
+                     "{:.6f}s (latency must be sampled exactly once)".format(
+                         ev.host, span, start.latency_s))
+            expected = ev.src if ev.failed else ev.dst
+            if ev.state != expected:
+                flag("state-machine", seq, ev.t,
+                     "{}: transition-end reports state {} but {} transition "
+                     "{}->{} implies {}".format(
+                         ev.host, ev.state,
+                         "failed" if ev.failed else "completed",
+                         ev.src, ev.dst, expected))
+            if ev.failed and ev.dst == _ACTIVE:
+                state.failed_wakes += 1
+            state.state = ev.state
+        elif isinstance(ev, FaultInjected):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("fault-accounting", seq, ev.t,
+                     "fault injected on unknown host {}".format(ev.host))
+            elif not ev.permanent:
+                state.faults += 1
+        elif isinstance(ev, ManagerDecision):
+            last_decision[(ev.host, ev.action)] = ev.t
+            if ev.action == "evac-start":
+                if ev.host in open_evacs:
+                    flag("evacuation-lifecycle", seq, ev.t,
+                         "{}: evacuation started twice".format(ev.host))
+                open_evacs.add(ev.host)
+        elif isinstance(ev, EvacuationEnd):
+            if ev.host not in open_evacs:
+                flag("evacuation-lifecycle", seq, ev.t,
+                     "{}: evacuation-end ({}) without an open "
+                     "evacuation".format(ev.host, ev.outcome))
+            open_evacs.discard(ev.host)
+            last_evac_end[ev.host] = ev
+        elif isinstance(ev, EvacuationPlanned):
+            pass
+        elif isinstance(ev, WatchdogWake):
+            if ev.shortfall_cores <= 0:
+                flag("watchdog-payload", seq, ev.t,
+                     "reactive wake with non-positive shortfall "
+                     "({:.3f} cores)".format(ev.shortfall_cores))
+        elif isinstance(ev, MigrationStart):
+            if ev.migration_id in open_migrations or (
+                ev.migration_id in finished_migrations
+            ):
+                flag("migration-conservation", seq, ev.t,
+                     "duplicate migration id {}".format(ev.migration_id))
+            open_migrations[ev.migration_id] = ev
+        elif isinstance(ev, MigrationEnd):
+            start_ev = open_migrations.pop(ev.migration_id, None)
+            if start_ev is None:
+                flag("migration-conservation", seq, ev.t,
+                     "migration-end {} without a start (or ended "
+                     "twice)".format(ev.migration_id))
+            else:
+                finished_migrations.add(ev.migration_id)
+                if (start_ev.vm, start_ev.src, start_ev.dst) != (
+                    ev.vm, ev.src, ev.dst
+                ):
+                    flag("migration-conservation", seq, ev.t,
+                         "migration {} end ({}:{}->{}) does not match start "
+                         "({}:{}->{})".format(
+                             ev.migration_id, ev.vm, ev.src, ev.dst,
+                             start_ev.vm, start_ev.src, start_ev.dst))
+                if not ev.aborted:
+                    tracked = residency.get(ev.vm)
+                    if tracked is not None and tracked != ev.src:
+                        flag("residency", seq, ev.t,
+                             "{} migrated from {} but was tracked on "
+                             "{}".format(ev.vm, ev.src, tracked))
+                    if tracked is not None:
+                        residency[ev.vm] = ev.dst
+        elif isinstance(ev, AdmissionEvent):
+            if ev.action in _PLACING_ACTIONS:
+                if residency.get(ev.vm) is not None:
+                    flag("residency", seq, ev.t,
+                         "{} placed on {} but already tracked on {}".format(
+                             ev.vm, ev.host, residency[ev.vm]))
+                if not ev.host:
+                    flag("residency", seq, ev.t,
+                         "{}: placement without a host".format(ev.vm))
+                residency[ev.vm] = ev.host
+        elif isinstance(ev, VmRetired):
+            tracked = residency.pop(ev.vm, None)
+            if ev.host and tracked is None:
+                flag("residency", seq, ev.t,
+                     "{} retired from {} but was not tracked as "
+                     "placed".format(ev.vm, ev.host))
+            elif ev.host and tracked != ev.host:
+                flag("residency", seq, ev.t,
+                     "{} retired from {} but was tracked on {}".format(
+                         ev.vm, ev.host, tracked))
+        elif isinstance(ev, HostFinal):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("run-end", seq, ev.t,
+                     "host-final for unknown host {}".format(ev.host))
+                continue
+            if state.finalized:
+                flag("run-end", seq, ev.t,
+                     "duplicate host-final for {}".format(ev.host))
+            state.finalized = True
+            host_finals[ev.host] = ev
+            if ev.state != state.state:
+                flag("state-machine", seq, ev.t,
+                     "{}: host-final state {} but replay tracked {}".format(
+                         ev.host, ev.state, state.state))
+        elif isinstance(ev, RunEnd):
+            if run_end is not None:
+                flag("run-end", seq, ev.t, "duplicate run-end")
+            run_end = ev
+
+    out.hosts_seen = len(hosts)
+    final_seq = prev_seq if prev_seq is not None else -1
+    final_t = prev_t if prev_t is not None else 0.0
+
+    # -- per-host fault accounting (open wakes at horizon are excusable) --
+    for name in sorted(hosts):
+        state = hosts[name]
+        slack = 0
+        if state.open_transition is not None:
+            _, open_start = state.open_transition
+            if open_start.dst == _ACTIVE:
+                slack = 1
+        gap = state.faults - state.failed_wakes
+        if gap < 0 or gap > slack:
+            flag("fault-accounting", final_seq, final_t,
+                 "{}: {} injected wake fault(s) but {} failed wake "
+                 "transition(s)".format(name, state.faults, state.failed_wakes))
+
+    # -- end-of-run reconciliation ---------------------------------------
+    if run_end is None:
+        if require_run_end:
+            flag("run-end", final_seq, final_t, "trace has no run-end record")
+        return out
+
+    if run_end.hosts != len(hosts):
+        flag("run-end", final_seq, final_t,
+             "run-end reports {} host(s) but trace initialized {}".format(
+                 run_end.hosts, len(hosts)))
+    unfinalized = sorted(n for n, s in hosts.items() if not s.finalized)
+    if unfinalized:
+        flag("run-end", final_seq, final_t,
+             "missing host-final for: {}".format(", ".join(unfinalized)))
+
+    if len(residency) != run_end.vms:
+        flag("residency", final_seq, final_t,
+             "run-end reports {} resident VM(s) but replay tracked "
+             "{}".format(run_end.vms, len(residency)))
+
+    unmatched = len(open_migrations)
+    if unmatched != run_end.migrations_unfinished:
+        flag("migration-conservation", final_seq, final_t,
+             "{} migration start(s) without finish/abort, but run-end "
+             "reports {} in flight".format(
+                 unmatched, run_end.migrations_unfinished))
+
+    if host_finals and len(host_finals) == len(hosts):
+        total_kwh = math.fsum(f.energy_j for f in host_finals.values()) / 3.6e6
+        if not math.isclose(
+            total_kwh, run_end.energy_kwh,
+            rel_tol=_ENERGY_REL_TOL, abs_tol=1e-9,
+        ):
+            flag("energy", final_seq, final_t,
+                 "per-host trace energy sums to {:.9f} kWh but run-end "
+                 "reports {:.9f} kWh".format(total_kwh, run_end.energy_kwh))
+    if report is not None:
+        if not math.isclose(
+            run_end.energy_kwh, report.energy_kwh,
+            rel_tol=_ENERGY_REL_TOL, abs_tol=1e-9,
+        ):
+            flag("energy", final_seq, final_t,
+                 "trace energy {:.9f} kWh does not reconcile with "
+                 "SimReport energy {:.9f} kWh".format(
+                     run_end.energy_kwh, report.energy_kwh))
+        if not math.isclose(run_end.horizon_s, report.horizon_s,
+                            rel_tol=1e-12, abs_tol=1e-9):
+            flag("run-end", final_seq, final_t,
+                 "trace horizon {} does not match SimReport horizon "
+                 "{}".format(run_end.horizon_s, report.horizon_s))
+    return out

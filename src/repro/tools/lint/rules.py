@@ -2,10 +2,12 @@
 
 Every rule protects a property the simulation's headline numbers depend
 on — bit-determinism under a seed (RL001/RL002), dimensional sanity of
-the watt/joule/second/GB arithmetic (RL003/RL004), and artifacts that
+the watt/joule/second/GB arithmetic (RL003/RL004), artifacts that
 survive the process-pool and disk-cache boundaries introduced in
-PR 1 (RL008) — plus three general correctness rules that have bitten
-simulation codebases before (RL005/RL006/RL007).
+PR 1 (RL008), and the traced power-transition discipline the
+decision-trace validator replays (RL009) — plus three general
+correctness rules that have bitten simulation codebases before
+(RL005/RL006/RL007).
 
 Adding a rule: subclass :class:`~repro.tools.lint.engine.Rule`, set
 ``rule_id``/``title``/``rationale``, implement ``check`` (usually ~30
@@ -615,6 +617,63 @@ class UnpicklableFieldRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RL009 — no power-state mutation bypassing the traced transition API
+# ----------------------------------------------------------------------
+
+#: Private attributes owned by HostPowerStateMachine's transition logic.
+_MACHINE_STATE_ATTRS = frozenset({"_state", "_transition"})
+
+
+class UntracedTransitionRule(Rule):
+    rule_id = "RL009"
+    title = "no power-state mutation bypassing the traced transition API"
+    rationale = (
+        "HostPowerStateMachine.transition_to is the only door: it checks "
+        "legality, samples latency once, meters energy, and emits the "
+        "decision-trace events the invariant checker replays; writing "
+        "`._state`/`._transition` or calling `._run_transition` directly "
+        "produces untraceable state changes the validator cannot certify"
+    )
+    #: The machine module owns these attributes; tests may force states to
+    #: exercise error paths.
+    skip_test_files = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.path.name == "machine.py" and module.in_packages(("power",)):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _MACHINE_STATE_ATTRS
+                    ):
+                        yield module.finding(
+                            self.rule_id,
+                            node,
+                            "direct write to `{}` bypasses the traced "
+                            "transition API; go through "
+                            "`transition_to()` (or `Host.park()`/"
+                            "`Host.wake()`)".format(target.attr),
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_run_transition"
+            ):
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "`_run_transition` skips the legality check and "
+                    "re-samples latency; call `transition_to()` instead",
+                )
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -627,6 +686,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     OverbroadExceptRule,
     RuntimeAssertRule,
     UnpicklableFieldRule,
+    UntracedTransitionRule,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}

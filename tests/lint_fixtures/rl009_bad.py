@@ -1,0 +1,13 @@
+"""Fixture: RL009 — power-state mutation bypassing the traced API."""
+
+from repro.power.states import PowerState
+
+
+def force_park(host):
+    host.machine._state = PowerState.SLEEP  # finding: bypasses transition_to
+    host.machine._transition = None  # finding: transition bookkeeping is private
+
+
+def sneak_transition(machine, spec):
+    gen = machine._run_transition(PowerState.OFF, spec)  # finding: skips checks
+    return gen

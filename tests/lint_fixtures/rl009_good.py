@@ -1,0 +1,17 @@
+"""Fixture: RL009 — transitions flow through the traced API."""
+
+from repro.power.states import PowerState
+
+
+def park(env, host):
+    return env.process(host.park(PowerState.SLEEP))
+
+
+def wake(env, host):
+    return env.process(host.wake())
+
+
+def direct(env, machine):
+    # transition_to checks legality, samples latency once, and emits the
+    # decision-trace events — the only sanctioned door.
+    return env.process(machine.transition_to(PowerState.HIBERNATE))

@@ -105,3 +105,61 @@ class TestJsonOutput:
         )
         payload = json_mod.loads(capsys.readouterr().out)
         assert [p["policy"] for p in payload] == ["AlwaysOn", "S3-PM"]
+
+
+class TestTrace:
+    SMALL = ["--hosts", "3", "--vms", "6", "--hours", "1", "--seed", "2"]
+
+    def test_trace_streams_jsonl_to_stdout(self, capsys):
+        import json as json_mod
+
+        from repro.telemetry import TRACE_SCHEMA_VERSION
+
+        code = main(["trace", "S3-PM"] + self.SMALL)
+        assert code == 0
+        out, err = capsys.readouterr()
+        header = json_mod.loads(out.splitlines()[0])
+        assert header["trace"] == TRACE_SCHEMA_VERSION
+        assert header["label"] == "S3-PM"
+        # The verdict goes to stderr so stdout stays pipeable JSONL.
+        assert "0 violation(s)" in err
+
+    def test_trace_out_then_check_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        code = main(["trace", "S3-PM", "--out", str(target)] + self.SMALL)
+        assert code == 0
+        assert "sha256" in capsys.readouterr().out
+        code = main(["trace", "check", str(target)])
+        assert code == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_trace_check_flags_a_doctored_trace(self, tmp_path, capsys):
+        target = tmp_path / "t.jsonl"
+        main(["trace", "S3-PM", "--out", str(target)] + self.SMALL)
+        capsys.readouterr()
+        lines = target.read_text().splitlines()
+        # Drop the run-end record: the reconciliation must notice.
+        doctored = [l for l in lines if '"event":"run-end"' not in l]
+        assert len(doctored) == len(lines) - 1
+        target.write_text("\n".join(doctored) + "\n")
+        code = main(["trace", "check", str(target)])
+        assert code == 1
+        assert "run-end" in capsys.readouterr().out
+
+    def test_trace_check_requires_a_path(self, capsys):
+        assert main(["trace", "check"]) == 2
+        capsys.readouterr()
+
+    def test_trace_check_missing_file_is_usage_error(self, tmp_path, capsys):
+        code = main(["trace", "check", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_trace_unknown_policy_is_usage_error(self, capsys):
+        assert main(["trace", "Bogus"]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_trace_stray_path_is_usage_error(self, tmp_path, capsys):
+        code = main(["trace", "S3-PM", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        capsys.readouterr()

@@ -44,6 +44,7 @@ BAD_FIXTURES = {
     "RL006": "rl006_bad.py",
     "RL007": "rl007_bad.py",
     "RL008": "rl008_bad.py",
+    "RL009": "rl009_bad.py",
 }
 
 GOOD_FIXTURES = {
@@ -62,11 +63,11 @@ def expected_lines(path: Path) -> set:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
-        assert len(ALL_RULES) == 8
+    def test_all_nine_rules_registered(self):
+        assert len(ALL_RULES) == 9
         assert sorted(RULES_BY_ID) == [
-            "RL001", "RL002", "RL003", "RL004",
-            "RL005", "RL006", "RL007", "RL008",
+            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL006", "RL007", "RL008", "RL009",
         ]
 
     def test_rules_have_metadata(self):
@@ -122,6 +123,16 @@ class TestFixtures:
         test_file = tmp_path / "test_place.py"
         test_file.write_text(source)
         assert lint_file(test_file, rules_for_ids(["RL007"])) == []
+
+    def test_rl009_exempts_the_machine_module_and_tests(self, tmp_path):
+        # The machine module owns the attributes the rule polices...
+        machine = REPO_ROOT / "src" / "repro" / "power" / "machine.py"
+        assert lint_file(machine, rules_for_ids(["RL009"])) == []
+        # ...and test files may force states to exercise error paths.
+        source = (FIXTURES / "rl009_bad.py").read_text()
+        test_file = tmp_path / "test_force.py"
+        test_file.write_text(source)
+        assert lint_file(test_file, rules_for_ids(["RL009"])) == []
 
 
 class TestSuppressions:
