@@ -5,6 +5,7 @@ Gives operators the paper's experiments without writing Python::
     python -m repro.cli characterize
     python -m repro.cli run --policy S3-PM --hosts 16 --vms 64 --hours 24
     python -m repro.cli compare --hosts 12 --vms 48 --hours 24 --workers 4
+    python -m repro.cli faults S3-PM --rate 0,0.05,0.1,0.2 --mttr-h 4
     python -m repro.cli policies
     python -m repro.cli cache info
 
@@ -26,7 +27,7 @@ from repro.analysis import render_series, render_table
 from repro.core import ResultCache, ScenarioSpec, run_scenario, run_scenarios
 from repro.core.cache import default_cache_dir
 from repro.core.policies import POLICIES, policy_by_name
-from repro.datacenter import FaultModel
+from repro.datacenter import FaultModel, RepairModel
 from repro.prototype import (
     PROTOTYPE_BLADE,
     breakeven_curve,
@@ -314,6 +315,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Resilience curve: one policy swept over wake-failure rates."""
+    try:
+        config = policy_by_name(args.policy)
+    except (KeyError, ValueError):
+        print(
+            "repro faults: unknown policy {!r} (choose from {})".format(
+                args.policy, ", ".join(sorted(POLICIES))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        rates = [float(r) for r in args.rate.split(",") if r.strip()]
+    except ValueError:
+        print(
+            "repro faults: --rate wants a comma-separated list of "
+            "probabilities, got {!r}".format(args.rate),
+            file=sys.stderr,
+        )
+        return 2
+    if not rates or not all(0.0 <= r < 1.0 for r in rates):
+        print("repro faults: rates must lie in [0, 1)", file=sys.stderr)
+        return 2
+    kwargs = _scenario_kwargs(args)
+    kwargs.pop("fault_model", None)  # the sweep owns the fault model
+    repair = RepairModel(mttr_s=args.mttr_h * 3600.0) if args.mttr_h > 0 else None
+    specs = []
+    for rate in rates:
+        per_rate = dict(kwargs)
+        if rate > 0:
+            per_rate["fault_model"] = FaultModel(
+                wake_failure_rate=rate,
+                permanent_fraction=args.permanent_fraction,
+                repair=repair,
+            )
+        specs.append(ScenarioSpec(config, kwargs=per_rate))
+    results = run_scenarios(specs, workers=args.workers, cache=not args.no_cache)
+    reports = [artifacts.report for artifacts in results]
+    if args.json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports], indent=2, sort_keys=True
+            )
+        )
+        return 0
+    base = reports[0].energy_kwh
+    rows = []
+    for rate, report in zip(rates, reports):
+        ex = report.extra
+        rows.append(
+            [
+                rate,
+                report.energy_kwh,
+                report.energy_kwh / base if base else float("nan"),
+                report.violation_fraction,
+                ex.get("violation_gold", 0.0),
+                int(ex.get("wake_failures", 0)),
+                int(ex.get("wake_retries", 0)),
+                int(ex.get("blacklists", 0)),
+                int(ex.get("hosts_repaired", 0)),
+                int(ex.get("hosts_out_of_service", 0)),
+            ]
+        )
+    print(
+        render_table(
+            ["rate", "energy_kwh", "norm_energy", "undelivered", "gold_viol",
+             "failures", "retries", "blacklists", "repaired", "oos_end"],
+            rows,
+            title="{}: resilience vs wake-failure rate".format(config.name),
+        )
+    )
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.action == "clear":
@@ -388,6 +464,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(trace_parser)
     trace_parser.set_defaults(func=cmd_trace)
+
+    faults_parser = sub.add_parser(
+        "faults",
+        help="sweep a policy over wake-failure rates (resilience curve)",
+    )
+    faults_parser.add_argument(
+        "policy",
+        nargs="?",
+        default="S3-PM",
+        help="policy preset to stress (default: S3-PM)",
+    )
+    faults_parser.add_argument(
+        "--rate",
+        default="0,0.05,0.1,0.2",
+        help="comma-separated wake-failure probabilities to sweep",
+    )
+    faults_parser.add_argument(
+        "--permanent-fraction",
+        type=float,
+        default=0.2,
+        help="fraction of failures that take the host out of service",
+    )
+    faults_parser.add_argument(
+        "--mttr-h",
+        type=float,
+        default=4.0,
+        help="mean operator repair time in hours (0 disables repair)",
+    )
+    faults_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for the sweep (default: REPRO_WORKERS "
+        "or the CPU count)",
+    )
+    faults_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the scenario result cache",
+    )
+    _add_scenario_args(faults_parser)
+    faults_parser.set_defaults(func=cmd_faults)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the scenario result cache"

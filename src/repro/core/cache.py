@@ -40,7 +40,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Optional, Union
 
 #: Bump to invalidate every cached result after a format change.
-CACHE_SCHEMA = 1
+#: 2: report.extra gained the fault-recovery counters (wake_retries,
+#:    blacklists, escalations, hosts_repaired, retires_unknown).
+CACHE_SCHEMA = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"

@@ -74,6 +74,20 @@ class ManagerConfig:
     #: requester (None = wait indefinitely).  Mirrors the provisioning
     #: SLA real clouds put on placement.
     admission_timeout_s: Optional[float] = None
+    #: Fault recovery (see :mod:`repro.datacenter.recovery`): minimum wait
+    #: before retrying a host whose wake failed; doubles per consecutive
+    #: failure up to ``wake_backoff_max_s``.
+    wake_backoff_base_s: float = 60.0
+    wake_backoff_max_s: float = 900.0
+    #: After this many consecutive failures a host is blacklisted for
+    #: ``blacklist_hold_s`` and the manager wakes *different* hosts.
+    blacklist_after_failures: int = 3
+    blacklist_hold_s: float = 1800.0
+    #: Watchdog escalation: when a capacity shortfall persists across this
+    #: many consecutive watchdog ticks, wake ``escalation_boost_hosts``
+    #: extra hosts beyond the computed need (None disables escalation).
+    escalation_after_ticks: Optional[int] = 3
+    escalation_boost_hosts: int = 1
 
     def __post_init__(self) -> None:
         if self.period_s <= 0 or self.watchdog_period_s <= 0:
@@ -104,6 +118,18 @@ class ManagerConfig:
             raise ValueError("park_preference must be 'load' or 'efficiency'")
         if self.admission_timeout_s is not None and self.admission_timeout_s <= 0:
             raise ValueError("admission_timeout_s must be positive when set")
+        if self.wake_backoff_base_s <= 0:
+            raise ValueError("wake_backoff_base_s must be positive")
+        if self.wake_backoff_max_s < self.wake_backoff_base_s:
+            raise ValueError("wake_backoff_max_s must be >= wake_backoff_base_s")
+        if self.blacklist_after_failures < 1:
+            raise ValueError("blacklist_after_failures must be >= 1")
+        if self.blacklist_hold_s <= 0:
+            raise ValueError("blacklist_hold_s must be positive")
+        if self.escalation_after_ticks is not None and self.escalation_after_ticks < 1:
+            raise ValueError("escalation_after_ticks must be >= 1 when set")
+        if self.escalation_boost_hosts < 1:
+            raise ValueError("escalation_boost_hosts must be >= 1")
 
     def with_overrides(self, **kwargs: Any) -> "ManagerConfig":
         """A copy with selected fields replaced (used by sweeps)."""

@@ -31,6 +31,7 @@ from repro.core.config import ManagerConfig
 from repro.core.predictor import make_predictor
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.host import Host
+from repro.datacenter.recovery import WakeScoreboard
 from repro.datacenter.vm import VM
 from repro.migration.engine import MigrationEngine
 from repro.placement.balancer import LoadBalancer
@@ -45,6 +46,11 @@ class ManagementLog:
     events: List[Tuple[float, str, str]] = field(default_factory=list)
     wakes_requested: int = 0
     wake_failures: int = 0
+    wake_retries: int = 0
+    blacklists: int = 0
+    escalations: int = 0
+    hosts_repaired: int = 0
+    retires_unknown: int = 0
     reactive_wakes: int = 0
     cap_deferrals: int = 0
     parks_started: int = 0
@@ -110,6 +116,18 @@ class PowerAwareManager:
         self._evacs: Dict[str, _EvacuationTask] = {}
         self._surplus_rounds = 0
         self._started = False
+        cfg = self.config
+        #: Per-host wake-failure history driving retry backoff and
+        #: blacklisting (see :mod:`repro.datacenter.recovery`).
+        self.scoreboard = WakeScoreboard(
+            backoff_base_s=cfg.wake_backoff_base_s,
+            backoff_max_s=cfg.wake_backoff_max_s,
+            blacklist_after_failures=cfg.blacklist_after_failures,
+            blacklist_hold_s=cfg.blacklist_hold_s,
+        )
+        #: Consecutive watchdog ticks with an unresolved shortfall
+        #: (escalation counter).
+        self._shortfall_ticks = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,13 +190,23 @@ class PowerAwareManager:
         return True
 
     def retire(self, vm: VM) -> None:
-        """Remove a departing VM (placed or still pending)."""
+        """Remove a departing VM (placed, still pending, or already gone).
+
+        A VM can legitimately be unknown here: a queued admission that hit
+        ``admission_timeout_s`` was dropped from the pending list, but its
+        churn-generated departure still fires later.  That must not crash
+        the simulation — count it and return.
+        """
         for i, (pending_vm, _) in enumerate(self._pending):
             if pending_vm is vm:
                 del self._pending[i]
                 if self._trace is not None:
                     self._trace.vm_retired(self.env.now, vm.name)
                 return
+        if not self.cluster.has_vm(vm.name):
+            self.log.retires_unknown += 1
+            self.log.record(self.env.now, "retire-unknown", vm.name)
+            return
         host_name = vm.host.name if vm.host is not None else ""
         self.cluster.remove_vm(vm)
         if self._trace is not None:
@@ -331,6 +359,11 @@ class PowerAwareManager:
         * **host-level** — some host is overloaded (demand beyond its
           cores) and the balancer has nowhere under its ceiling to move
           load to; waking one host gives it a drain target.
+
+        A shortfall that persists across ``escalation_after_ticks``
+        consecutive ticks (wakes failing, backoff holding hosts back)
+        escalates: ``escalation_boost_hosts`` extra hosts are woken
+        beyond the computed need.
         """
         if not self.config.enable_power_mgmt:
             return
@@ -344,31 +377,56 @@ class PowerAwareManager:
         if committed >= cap_cores - 1e-9:
             # Power-budget-bound: growing (or cancelling a cap-forced
             # evacuation) is not allowed; shortfall is the price of the cap.
+            self._shortfall_ticks = 0
             return
+        trigger: Optional[str] = None
+        shortfall = 0.0
         if demand > committed * self.config.cpu_target:
+            trigger = "aggregate"
             shortfall = min(
                 demand / self.config.cpu_target - committed,
                 cap_cores - committed,
             )
-            self._record_reactive_wake(
-                now, "aggregate", shortfall, demand, committed, cap_cores
+        else:
+            overload = sum(
+                max(0.0, h.demand_cores(now) - h.cores)
+                for h in self.cluster.active_hosts()
             )
-            self._grow(shortfall, reactive=True)
+            headroom_free = sum(
+                max(0.0, h.cores * self.config.balance.dst_ceiling - h.demand_cores(now))
+                for h in self.cluster.placeable_hosts()
+            )
+            if overload > 0.25 and overload > headroom_free:
+                trigger = "host-overload"
+                shortfall = min(overload, cap_cores - committed)
+        if trigger is None:
+            self._shortfall_ticks = 0
             return
-        overload = sum(
-            max(0.0, h.demand_cores(now) - h.cores)
-            for h in self.cluster.active_hosts()
+        self._shortfall_ticks += 1
+        self._record_reactive_wake(
+            now, trigger, shortfall, demand, committed, cap_cores
         )
-        headroom_free = sum(
-            max(0.0, h.cores * self.config.balance.dst_ceiling - h.demand_cores(now))
-            for h in self.cluster.placeable_hosts()
-        )
-        if overload > 0.25 and overload > headroom_free:
-            shortfall = min(overload, cap_cores - committed)
-            self._record_reactive_wake(
-                now, "host-overload", shortfall, demand, committed, cap_cores
+        extra_hosts = 0
+        after = self.config.escalation_after_ticks
+        if after is not None and self._shortfall_ticks >= after:
+            extra_hosts = self.config.escalation_boost_hosts
+            self.log.escalations += 1
+            self.log.record(
+                now, "escalation",
+                "{} ticks short, +{} host(s)".format(
+                    self._shortfall_ticks, extra_hosts
+                ),
             )
-            self._grow(shortfall, reactive=True)
+            if self._trace is not None:
+                self._trace.escalation(
+                    now,
+                    ticks=self._shortfall_ticks,
+                    extra_hosts=extra_hosts,
+                    shortfall_cores=shortfall,
+                )
+            self._shortfall_ticks = 0
+        self._grow(shortfall, reactive=True, extra_hosts=extra_hosts)
+        if trigger == "host-overload":
             # Give the balancer an immediate chance to use new capacity
             # once it wakes; meanwhile spread what we can.
             self._balance()
@@ -404,7 +462,9 @@ class PowerAwareManager:
                 cap_cores=cap_cores if math.isfinite(cap_cores) else -1.0,
             )
 
-    def _grow(self, cores_short: float, reactive: bool) -> None:
+    def _grow(
+        self, cores_short: float, reactive: bool, extra_hosts: int = 0
+    ) -> None:
         # 1) Cancelling an in-flight evacuation is free capacity.
         for task in self._evacs.values():
             if cores_short <= 0:
@@ -415,14 +475,23 @@ class PowerAwareManager:
                 self.log.record(self.env.now, "evac-cancel", task.host.name)
                 if self._trace is not None:
                     self._trace.decision(self.env.now, "evac-cancel", task.host.name)
-        if cores_short <= 0:
+        if cores_short <= 0 and extra_hosts <= 0:
             return
         # 2) Wake parked hosts, fastest exit first; among equals, prefer
         # the most efficient machine (lowest idle draw) — it will be
-        # active for a while.
+        # active for a while.  Hosts in retry backoff or blacklisted after
+        # repeated wake failures are skipped entirely, and hosts with a
+        # failure history sort behind clean ones so the manager prefers a
+        # *different* parked host over banging on a flaky one.
+        now = self.env.now
         parked = sorted(
-            self.cluster.parked_hosts(),
+            (
+                h
+                for h in self.cluster.parked_hosts()
+                if self.scoreboard.eligible(h.name, now)
+            ),
             key=lambda h: (
+                self.scoreboard.failures(h.name),
                 h.profile.transition(h.state, PowerState.ACTIVE).latency_s,
                 h.profile.idle_w,
             ),
@@ -430,7 +499,8 @@ class PowerAwareManager:
         if not parked:
             return
         mean_cores = sum(h.cores for h in parked) / len(parked)
-        count = int(math.ceil(cores_short / mean_cores)) + self.config.wake_boost_hosts
+        count = max(int(math.ceil(cores_short / mean_cores)), 0)
+        count += self.config.wake_boost_hosts + extra_hosts
         for host in parked[:count]:
             if not self._cap_allows_wake(host):
                 self.log.cap_deferrals += 1
@@ -438,6 +508,19 @@ class PowerAwareManager:
                 if self._trace is not None:
                     self._trace.decision(self.env.now, "cap-defer", host.name)
                 continue
+            failures = self.scoreboard.failures(host.name)
+            if failures > 0:
+                self.log.wake_retries += 1
+                self.log.record(
+                    self.env.now, "wake-retry",
+                    "{} attempt {}".format(host.name, failures + 1),
+                )
+                if self._trace is not None:
+                    self._trace.wake_retry(
+                        self.env.now, host.name,
+                        attempt=failures + 1,
+                        backoff_s=self.scoreboard.backoff_s(host.name),
+                    )
             self.log.wakes_requested += 1
             self.log.record(self.env.now, "wake", host.name)
             if self._trace is not None:
@@ -479,14 +562,64 @@ class PowerAwareManager:
 
     def _wake(self, host: Host) -> Generator["Event", Any, None]:
         yield self.env.process(host.wake())
+        now = self.env.now
         if not host.is_active:
-            # Injected wake failure: the watchdog will retry (or pick a
-            # different host) on its next tick; just record it.
+            # Injected wake failure: the scoreboard puts the host into
+            # exponential backoff (and eventually blacklists it) so the
+            # watchdog retries a *different* parked host first.
             self.log.wake_failures += 1
-            self.log.record(self.env.now, "wake-failed", host.name)
+            self.log.record(now, "wake-failed", host.name)
             if self._trace is not None:
-                self._trace.decision(self.env.now, "wake-failed", host.name)
+                self._trace.decision(now, "wake-failed", host.name)
+            blacklisted_until = self.scoreboard.record_failure(host.name, now)
+            if blacklisted_until is not None:
+                self.log.blacklists += 1
+                self.log.record(
+                    now, "host-blacklisted",
+                    "{} until t={:.0f}".format(host.name, blacklisted_until),
+                )
+                if self._trace is not None:
+                    self._trace.host_blacklisted(
+                        now, host.name,
+                        failures=self.scoreboard.failures(host.name),
+                        until_t=blacklisted_until,
+                    )
+            if host.out_of_service:
+                self._schedule_repair(host)
+        else:
+            self.scoreboard.record_success(host.name)
         self._drain_pending()
+
+    def _schedule_repair(self, host: Host) -> None:
+        """Queue an MTTR-delayed repair for a permanently failed host."""
+        delay = host.repair_delay_s()
+        if delay is None:
+            return  # no repair model: the host is lost for the run
+        self.log.record(
+            self.env.now, "repair-scheduled",
+            "{} in {:.0f}s".format(host.name, delay),
+        )
+        if self._trace is not None:
+            self._trace.decision(
+                self.env.now, "repair-scheduled", host.name,
+                detail="{:.0f}s".format(delay),
+            )
+        self.env.process(self._repair(host, delay))
+
+    def _repair(
+        self, host: Host, delay_s: float
+    ) -> Generator["Event", Any, None]:
+        failed_at = self.env.now
+        yield self.env.timeout(delay_s)
+        host.repair()
+        self.scoreboard.record_repair(host.name)
+        now = self.env.now
+        self.log.hosts_repaired += 1
+        self.log.record(now, "host-repaired", host.name)
+        if self._trace is not None:
+            self._trace.host_repaired(
+                now, host.name, downtime_s=now - failed_at
+            )
 
     # ------------------------------------------------------------------
     # Shrinking capacity (evacuate + park)
@@ -570,11 +703,18 @@ class PowerAwareManager:
         cfg = self.config
         if cfg.deep_park_state is None:
             return cfg.park_state
+        # A host sitting in the warm state but failed (out of service) or
+        # held for maintenance cannot serve a fast wake — counting it as
+        # warm would silently shrink the usable warm pool.
         warm = sum(
             1
             for h in self.cluster.hosts
-            if (h.state is cfg.park_state and not h.machine.in_transition)
-            or h.machine.target_state is cfg.park_state
+            if not h.out_of_service
+            and not h.in_maintenance
+            and (
+                (h.state is cfg.park_state and not h.machine.in_transition)
+                or h.machine.target_state is cfg.park_state
+            )
         )
         return cfg.park_state if warm < cfg.warm_pool_hosts else cfg.deep_park_state
 

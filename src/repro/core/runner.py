@@ -203,6 +203,8 @@ def run_scenario(
         )
 
     report = build_report(config.name, cluster, sampler, engine, horizon_s)
+    # One pass over the sample history, not one per priority class.
+    violation_by_class = sampler.violation_fraction_by_class()
     report.extra.update(
         {
             "reactive_wakes": float(manager.log.reactive_wakes),
@@ -213,15 +215,16 @@ def run_scenario(
             "mean_admission_wait_s": manager.log.mean_admission_wait_s(),
             "pending_admissions_end": float(manager.pending_admissions),
             "wake_failures": float(manager.log.wake_failures),
+            "wake_retries": float(manager.log.wake_retries),
+            "blacklists": float(manager.log.blacklists),
+            "escalations": float(manager.log.escalations),
+            "hosts_repaired": float(manager.log.hosts_repaired),
+            "retires_unknown": float(manager.log.retires_unknown),
             "hosts_out_of_service": float(len(cluster.out_of_service_hosts())),
             "cap_deferrals": float(manager.log.cap_deferrals),
-            "violation_gold": sampler.violation_fraction_by_class()[Priority.GOLD],
-            "violation_silver": sampler.violation_fraction_by_class()[
-                Priority.SILVER
-            ],
-            "violation_bronze": sampler.violation_fraction_by_class()[
-                Priority.BRONZE
-            ],
+            "violation_gold": violation_by_class[Priority.GOLD],
+            "violation_silver": violation_by_class[Priority.SILVER],
+            "violation_bronze": violation_by_class[Priority.BRONZE],
         }
     )
     if churn is not None:

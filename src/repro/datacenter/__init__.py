@@ -10,15 +10,33 @@ telemetry sampler read.
 from repro.datacenter.vm import Priority, VM
 from repro.datacenter.host import Host, HostNotActive, InsufficientCapacity
 from repro.datacenter.cluster import Cluster
-from repro.datacenter.faults import FaultInjector, FaultModel
+from repro.datacenter.faults import (
+    Brownout,
+    ChaosSchedule,
+    FailureBurst,
+    FaultInjector,
+    FaultModel,
+    RepairModel,
+    brownout_window,
+    burst_window,
+)
+from repro.datacenter.recovery import HostWakeRecord, WakeScoreboard
 
 __all__ = [
+    "Brownout",
+    "ChaosSchedule",
     "Cluster",
+    "FailureBurst",
     "FaultInjector",
     "FaultModel",
     "Host",
     "HostNotActive",
+    "HostWakeRecord",
     "InsufficientCapacity",
     "Priority",
+    "RepairModel",
     "VM",
+    "WakeScoreboard",
+    "brownout_window",
+    "burst_window",
 ]

@@ -135,6 +135,10 @@ class Cluster:
     def get_vm(self, name: str) -> VM:
         return self._vms[name]
 
+    def has_vm(self, name: str) -> bool:
+        """True if a VM called ``name`` is currently resident."""
+        return name in self._vms
+
     # ------------------------------------------------------------------
     # Host views
     # ------------------------------------------------------------------

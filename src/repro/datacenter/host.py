@@ -70,6 +70,11 @@ class Host:
         self.cores = float(cores)
         self.mem_gb = float(mem_gb)
         self.mem_overcommit = mem_overcommit
+        #: Optional wake-failure injection (created before the power
+        #: machine so chaos brownouts can scale its wake latency).
+        self._injector = (
+            FaultInjector(faults, fault_seed, name, trace=trace) if faults else None
+        )
         self.machine = HostPowerStateMachine(
             env,
             profile,
@@ -78,6 +83,12 @@ class Host:
             latency_rng=_latency_rng(fault_seed, name),
             name=name,
             trace=trace,
+            wake_latency_scale=(
+                self._injector.wake_latency_scale
+                if self._injector is not None and faults is not None
+                and faults.chaos is not None
+                else None
+            ),
         )
         if not 0.0 < dvfs_target <= 1.0:
             raise ValueError("dvfs_target must be in (0, 1]")
@@ -98,10 +109,6 @@ class Host:
         self.dvfs_target = dvfs_target
         #: Current relative frequency (1.0 = nominal).
         self.frequency = 1.0
-        #: Optional wake-failure injection.
-        self._injector = (
-            FaultInjector(faults, fault_seed, name, trace=trace) if faults else None
-        )
         #: Count of wake attempts that failed (transient or permanent).
         self.wake_failures = 0
         #: Set when a permanent failure takes the host out of management.
@@ -346,6 +353,35 @@ class Host:
         )
         self.out_of_service = True
         return result
+
+    # ------------------------------------------------------------------
+    # Repair (operator service after a permanent failure)
+    # ------------------------------------------------------------------
+
+    def repair_delay_s(self) -> Optional[float]:
+        """Draw the operator repair delay, or None when repair is disabled.
+
+        Each call draws a fresh delay from the injector's dedicated repair
+        RNG stream, so delays are deterministic per (seed, host, failure
+        ordinal) and independent of the failure draws.
+        """
+        if self._injector is None:
+            return None
+        return self._injector.repair_delay_s()
+
+    def repair(self) -> None:
+        """Return a permanently failed host to service.
+
+        The host stays in whatever parked state the failed wake left it
+        in; it simply becomes eligible for management (waking) again.  The
+        cumulative :attr:`wake_failures` count is *not* reset — it is an
+        end-of-run reconciliation fact, not retry state.
+        """
+        if not self.out_of_service:
+            raise RuntimeError(
+                "{} is not out of service; nothing to repair".format(self.name)
+            )
+        self.out_of_service = False
 
     def __repr__(self) -> str:
         return "<Host {} {} vms={} {:.0f}W>".format(

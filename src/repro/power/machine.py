@@ -8,7 +8,7 @@ transitions, transition latency, and correct power draw at every instant.
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Generator, Optional, Tuple
 
 if TYPE_CHECKING:
     from repro.telemetry.trace import TraceBuffer
@@ -34,6 +34,7 @@ class HostPowerStateMachine:
         latency_rng=None,
         name: str = "",
         trace: Optional["TraceBuffer"] = None,
+        wake_latency_scale: Optional[Callable[[float], float]] = None,
     ) -> None:
         self.env = env
         self.profile = profile
@@ -41,6 +42,12 @@ class HostPowerStateMachine:
         self.name = name
         #: Decision-trace sink; None disables tracing at zero cost.
         self._trace = trace
+        #: Optional time-dependent multiplier applied to the sampled
+        #: latency of transitions *into* ACTIVE (wake-latency brownouts,
+        #: see :class:`repro.datacenter.faults.ChaosSchedule`).  The scaled
+        #: value is what the trace records, so the once-sampled-latency
+        #: invariant keeps holding.
+        self.wake_latency_scale = wake_latency_scale
         self._state = initial_state
         self._utilization = 0.0
         self._dynamic_scale = 1.0
@@ -158,6 +165,8 @@ class HostPowerStateMachine:
         self._transition = (src, dst)
         self.meter.set_power(self.env.now, spec.power_w)
         latency_s = spec.sample_latency_s(self.latency_rng)
+        if dst is PowerState.ACTIVE and self.wake_latency_scale is not None:
+            latency_s *= self.wake_latency_scale(self.env.now)
         if self._trace is not None:
             self._trace.transition_start(
                 self.env.now, self.name, src.value, dst.value, latency_s,

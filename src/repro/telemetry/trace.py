@@ -15,7 +15,10 @@ change as a typed event:
   :class:`~repro.core.manager.PowerAwareManager`;
 * watchdog interventions with the triggering shortfall in the payload;
 * admission-queue activity and VM retirement;
-* fault injection from :class:`~repro.datacenter.faults.FaultInjector`.
+* fault injection from :class:`~repro.datacenter.faults.FaultInjector`;
+* fault-recovery activity — wake retries with their enforced backoff,
+  blacklist hold-downs, operator repairs, and watchdog escalation (see
+  :mod:`repro.datacenter.recovery`).
 
 Producers hold an ``Optional[TraceBuffer]`` and emit through its typed
 factory methods behind an ``if trace is not None`` guard, so tracing is
@@ -197,6 +200,54 @@ class WatchdogWake(TraceEvent):
 
 
 @dataclass(frozen=True)
+class WakeRetry(TraceEvent):
+    """The manager re-attempted a host whose previous wake(s) failed.
+
+    ``attempt`` is the 1-based wake attempt number (so always >= 2 here)
+    and ``backoff_s`` is the enforced minimum delay since the last failed
+    attempt — the validator checks it never shrinks within a retry chain.
+    """
+
+    event = "wake-retry"
+
+    host: str
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class HostBlacklisted(TraceEvent):
+    """Repeated failures put ``host`` in a hold-down until ``until_t``."""
+
+    event = "host-blacklisted"
+
+    host: str
+    failures: int
+    until_t: float
+
+
+@dataclass(frozen=True)
+class HostRepaired(TraceEvent):
+    """An out-of-service host returned to the pool after operator repair."""
+
+    event = "host-repaired"
+
+    host: str
+    downtime_s: float
+
+
+@dataclass(frozen=True)
+class Escalation(TraceEvent):
+    """Persistent watchdog shortfall escalated to waking extra hosts."""
+
+    event = "escalation"
+
+    ticks: int
+    extra_hosts: int
+    shortfall_cores: float
+
+
+@dataclass(frozen=True)
 class AdmissionEvent(TraceEvent):
     """Admission-queue activity (admit, queue, place, reject, time out)."""
 
@@ -255,6 +306,10 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     EvacuationEnd,
     ManagerDecision,
     WatchdogWake,
+    WakeRetry,
+    HostBlacklisted,
+    HostRepaired,
+    Escalation,
     AdmissionEvent,
     VmRetired,
     HostFinal,
@@ -403,6 +458,31 @@ class TraceBuffer:
                 demand_cores=demand_cores,
                 committed_cores=committed_cores,
                 cap_cores=cap_cores,
+            )
+        )
+
+    def wake_retry(self, t: float, host: str, attempt: int, backoff_s: float) -> None:
+        self.emit(WakeRetry(t=t, host=host, attempt=attempt, backoff_s=backoff_s))
+
+    def host_blacklisted(
+        self, t: float, host: str, failures: int, until_t: float
+    ) -> None:
+        self.emit(
+            HostBlacklisted(t=t, host=host, failures=failures, until_t=until_t)
+        )
+
+    def host_repaired(self, t: float, host: str, downtime_s: float) -> None:
+        self.emit(HostRepaired(t=t, host=host, downtime_s=downtime_s))
+
+    def escalation(
+        self, t: float, ticks: int, extra_hosts: int, shortfall_cores: float
+    ) -> None:
+        self.emit(
+            Escalation(
+                t=t,
+                ticks=ticks,
+                extra_hosts=extra_hosts,
+                shortfall_cores=shortfall_cores,
             )
         )
 

@@ -38,7 +38,24 @@ stable id so tests and CI output can pinpoint which property broke:
     switch-overs) must stay consistent, and the end-of-run VM count must
     reconcile.
 ``fault-accounting``
-    Every injected wake fault must surface as a failed wake transition.
+    Every injected wake fault must surface as a failed wake transition,
+    and the ``host-final`` out-of-service flag must match the replayed
+    permanent-failure/repair history.
+``wake-backoff``
+    Retry backoff must be monotone: between successive ``wake-retry``
+    events for a host (no successful wake in between) the attempt number
+    strictly increases and the backoff never shrinks, and no retry may
+    land inside the backoff window opened by the previous failure.
+``blacklist-hold``
+    A blacklisted host must not be woken again before its hold-down
+    expires (operator maintenance-end wakes are exempt).
+``repair-reentry``
+    A host taken out of service by a permanent failure may re-enter
+    management only via a traced ``host-repaired`` event whose downtime
+    matches the replay.
+``escalation-payload``
+    Escalations must carry a sane payload (ticks and extra hosts >= 1,
+    positive shortfall) and land at the same instant as a reactive wake.
 ``energy``
     Per-host trace energy must sum to the run total, which must match the
     ``SimReport`` when one is supplied.
@@ -57,11 +74,14 @@ from typing import Any, Dict, List, Optional, Set, Tuple, Union
 from repro.telemetry.trace import (
     TRACE_SCHEMA_VERSION,
     AdmissionEvent,
+    Escalation,
     EvacuationEnd,
     EvacuationPlanned,
     FaultInjected,
+    HostBlacklisted,
     HostFinal,
     HostInit,
+    HostRepaired,
     ManagerDecision,
     MigrationEnd,
     MigrationStart,
@@ -73,6 +93,7 @@ from repro.telemetry.trace import (
     TransitionEnd,
     TransitionStart,
     VmRetired,
+    WakeRetry,
     WatchdogWake,
     event_from_record,
 )
@@ -148,7 +169,12 @@ class TraceValidationReport:
 class _HostState:
     """Per-host replay state."""
 
-    __slots__ = ("state", "open_transition", "faults", "failed_wakes", "finalized")
+    __slots__ = (
+        "state", "open_transition", "faults", "failed_wakes", "finalized",
+        "last_failure_t", "last_retry_attempt", "last_retry_backoff",
+        "pending_retry_t", "blacklisted_until", "pending_permanent",
+        "oos", "oos_t",
+    )
 
     def __init__(self, state: str) -> None:
         self.state = state
@@ -156,6 +182,20 @@ class _HostState:
         self.faults = 0
         self.failed_wakes = 0
         self.finalized = False
+        # -- recovery replay state --
+        self.last_failure_t: Optional[float] = None
+        self.last_retry_attempt = 0
+        self.last_retry_backoff = 0.0
+        self.pending_retry_t: Optional[float] = None
+        self.blacklisted_until: Optional[float] = None
+        self.pending_permanent = False
+        self.oos = False
+        self.oos_t = 0.0
+
+    def reset_retry_history(self) -> None:
+        self.last_failure_t = None
+        self.last_retry_attempt = 0
+        self.last_retry_backoff = 0.0
 
 
 def _sequenced(
@@ -235,6 +275,7 @@ def validate_trace(
     run_end: Optional[RunEnd] = None
     prev_seq: Optional[int] = None
     prev_t: Optional[float] = None
+    last_watchdog_t: Optional[float] = None
 
     for seq, ev in events:
         if prev_seq is not None and seq != prev_seq + 1:
@@ -273,6 +314,10 @@ def validate_trace(
                 flag("state-machine", seq, ev.t,
                      "{}: transition claims src {} but tracked state is "
                      "{}".format(ev.host, ev.src, state.state))
+            if state.oos:
+                flag("repair-reentry", seq, ev.t,
+                     "{}: transition while out of service (no host-repaired "
+                     "event)".format(ev.host))
             if ev.dst == _ACTIVE:
                 if state.state == _ACTIVE:
                     flag("wake-from-active", seq, ev.t,
@@ -281,6 +326,15 @@ def validate_trace(
                     flag("untraced-wake", seq, ev.t,
                          "{}: wake transition without a same-instant wake "
                          "decision".format(ev.host))
+                if (
+                    state.blacklisted_until is not None
+                    and ev.t < state.blacklisted_until - 1e-9
+                    and last_decision.get((ev.host, "maintenance-end")) != ev.t
+                ):
+                    flag("blacklist-hold", seq, ev.t,
+                         "{}: woken at t={:.1f} inside blacklist hold-down "
+                         "(until t={:.1f})".format(
+                             ev.host, ev.t, state.blacklisted_until))
             else:
                 if last_decision.get((ev.host, "park")) != ev.t:
                     flag("untraced-park", seq, ev.t,
@@ -329,6 +383,12 @@ def validate_trace(
                          ev.src, ev.dst, expected))
             if ev.failed and ev.dst == _ACTIVE:
                 state.failed_wakes += 1
+                if state.pending_permanent:
+                    state.oos = True
+                    state.oos_t = ev.t
+                    state.pending_permanent = False
+            elif not ev.failed and ev.dst == _ACTIVE:
+                state.reset_retry_history()
             state.state = ev.state
         elif isinstance(ev, FaultInjected):
             state = hosts.get(ev.host)
@@ -337,8 +397,88 @@ def validate_trace(
                      "fault injected on unknown host {}".format(ev.host))
             elif not ev.permanent:
                 state.faults += 1
+            else:
+                state.pending_permanent = True
+        elif isinstance(ev, WakeRetry):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("wake-backoff", seq, ev.t,
+                     "wake-retry for unknown host {}".format(ev.host))
+            else:
+                if ev.attempt < 2:
+                    flag("wake-backoff", seq, ev.t,
+                         "{}: retry attempt {} implies no prior "
+                         "failure".format(ev.host, ev.attempt))
+                if state.last_retry_attempt and ev.attempt <= state.last_retry_attempt:
+                    flag("wake-backoff", seq, ev.t,
+                         "{}: retry attempt did not increase ({} after "
+                         "{})".format(ev.host, ev.attempt,
+                                      state.last_retry_attempt))
+                if ev.backoff_s + 1e-9 < state.last_retry_backoff:
+                    flag("wake-backoff", seq, ev.t,
+                         "{}: backoff shrank ({:.1f}s after {:.1f}s)".format(
+                             ev.host, ev.backoff_s, state.last_retry_backoff))
+                if (
+                    state.last_failure_t is not None
+                    and ev.t < state.last_failure_t + ev.backoff_s - 1e-9
+                ):
+                    flag("wake-backoff", seq, ev.t,
+                         "{}: retried {:.1f}s after failure, inside the "
+                         "{:.1f}s backoff window".format(
+                             ev.host, ev.t - state.last_failure_t,
+                             ev.backoff_s))
+                state.last_retry_attempt = ev.attempt
+                state.last_retry_backoff = ev.backoff_s
+                state.pending_retry_t = ev.t
+        elif isinstance(ev, HostBlacklisted):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("blacklist-hold", seq, ev.t,
+                     "blacklist for unknown host {}".format(ev.host))
+            else:
+                if ev.failures < 1 or ev.until_t <= ev.t:
+                    flag("blacklist-hold", seq, ev.t,
+                         "{}: malformed blacklist (failures={}, until "
+                         "t={:.1f} at t={:.1f})".format(
+                             ev.host, ev.failures, ev.until_t, ev.t))
+                state.blacklisted_until = ev.until_t
+        elif isinstance(ev, HostRepaired):
+            state = hosts.get(ev.host)
+            if state is None:
+                flag("repair-reentry", seq, ev.t,
+                     "host-repaired for unknown host {}".format(ev.host))
+            elif not state.oos:
+                flag("repair-reentry", seq, ev.t,
+                     "{}: host-repaired but replay never saw a permanent "
+                     "failure".format(ev.host))
+            else:
+                if abs((ev.t - state.oos_t) - ev.downtime_s) > 1e-6:
+                    flag("repair-reentry", seq, ev.t,
+                         "{}: repair reports {:.1f}s downtime but replay "
+                         "measured {:.1f}s".format(
+                             ev.host, ev.downtime_s, ev.t - state.oos_t))
+                state.oos = False
+                state.blacklisted_until = None
+                state.reset_retry_history()
+        elif isinstance(ev, Escalation):
+            if ev.ticks < 1 or ev.extra_hosts < 1 or ev.shortfall_cores <= 0:
+                flag("escalation-payload", seq, ev.t,
+                     "malformed escalation (ticks={}, extra_hosts={}, "
+                     "shortfall={:.3f})".format(
+                         ev.ticks, ev.extra_hosts, ev.shortfall_cores))
+            if last_watchdog_t != ev.t:
+                flag("escalation-payload", seq, ev.t,
+                     "escalation without a same-instant reactive wake")
         elif isinstance(ev, ManagerDecision):
             last_decision[(ev.host, ev.action)] = ev.t
+            if ev.action == "wake-failed":
+                state = hosts.get(ev.host)
+                if state is not None:
+                    state.last_failure_t = ev.t
+            if ev.action == "wake":
+                state = hosts.get(ev.host)
+                if state is not None and state.pending_retry_t == ev.t:
+                    state.pending_retry_t = None
             if ev.action == "evac-start":
                 if ev.host in open_evacs:
                     flag("evacuation-lifecycle", seq, ev.t,
@@ -354,6 +494,7 @@ def validate_trace(
         elif isinstance(ev, EvacuationPlanned):
             pass
         elif isinstance(ev, WatchdogWake):
+            last_watchdog_t = ev.t
             if ev.shortfall_cores <= 0:
                 flag("watchdog-payload", seq, ev.t,
                      "reactive wake with non-positive shortfall "
@@ -424,6 +565,10 @@ def validate_trace(
                 flag("state-machine", seq, ev.t,
                      "{}: host-final state {} but replay tracked {}".format(
                          ev.host, ev.state, state.state))
+            if ev.out_of_service != state.oos:
+                flag("fault-accounting", seq, ev.t,
+                     "{}: host-final out_of_service={} but replay tracked "
+                     "{}".format(ev.host, ev.out_of_service, state.oos))
         elif isinstance(ev, RunEnd):
             if run_end is not None:
                 flag("run-end", seq, ev.t, "duplicate run-end")
@@ -446,6 +591,10 @@ def validate_trace(
             flag("fault-accounting", final_seq, final_t,
                  "{}: {} injected wake fault(s) but {} failed wake "
                  "transition(s)".format(name, state.faults, state.failed_wakes))
+        if state.pending_retry_t is not None:
+            flag("wake-backoff", final_seq, final_t,
+                 "{}: wake-retry at t={:.1f} without a same-instant wake "
+                 "decision".format(name, state.pending_retry_t))
 
     # -- end-of-run reconciliation ---------------------------------------
     if run_end is None:
