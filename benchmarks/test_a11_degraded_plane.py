@@ -1,0 +1,109 @@
+"""A11 — ablation: service quality under a degraded management plane.
+
+The robustness objection to consolidation: the control plane itself
+fails.  Live migrations abort mid-copy, and the telemetry pipeline the
+manager plans against delivers stale, lossy snapshots.  This benchmark
+runs the default evaluation scenario with escalating plane degradation
+and shows the fault-domain machinery — per-flight rollback, bounded
+retries with backoff and re-planning, and the safe-mode governor that
+freezes consolidation when the plane is untrustworthy — keeps the
+service-class guarantees intact: gold violations under a 10 % migration
+failure rate plus 60 s telemetry staleness stay within 2x of the
+fault-free baseline.
+
+Every run is traced and replayed through the invariant checker (which
+now certifies rollback, retry-chain monotonicity, and the safe-mode
+freeze), so the claim is certified, not just plotted.
+"""
+
+from benchmarks.conftest import EVAL_HORIZON_S, EVAL_SEED
+
+from repro.analysis import render_table
+from repro.core import run_scenario, s3_policy
+from repro.datacenter import FaultModel, MigrationFaultModel
+from repro.telemetry import StalenessModel
+from repro.telemetry.validate import validate_trace
+
+#: (label, migration failure rate, telemetry staleness model)
+DEGRADATIONS = [
+    ("fault-free", 0.0, None),
+    ("migr-5%", 0.05, None),
+    ("stale-60s", 0.0, StalenessModel(delay_s=60.0, dropout_rate=0.1)),
+    ("migr-10%+stale", 0.10, StalenessModel(delay_s=60.0, dropout_rate=0.1)),
+]
+
+#: Absolute floor for the gold-violation bound: 2x of a fault-free zero
+#: is zero, which would turn numerical dust into a failure.
+GOLD_FLOOR = 1e-3
+
+
+def compute_a11():
+    rows = []
+    for label, rate, staleness in DEGRADATIONS:
+        fault_model = None
+        if rate > 0:
+            fault_model = FaultModel(
+                migration=MigrationFaultModel(failure_rate=rate)
+            )
+        run = run_scenario(
+            s3_policy(),
+            n_hosts=20,
+            n_vms=80,
+            horizon_s=EVAL_HORIZON_S,
+            seed=EVAL_SEED,
+            fault_model=fault_model,
+            telemetry_model=staleness,
+            trace=True,
+        )
+        check = validate_trace(run.trace, report=run.report)
+        extra = run.report.extra
+        rows.append(
+            {
+                "label": label,
+                "energy_kwh": run.report.energy_kwh,
+                "violation": run.report.violation_fraction,
+                "gold": extra["violation_gold"],
+                "failed": int(extra["migrations_failed"]),
+                "retries": int(extra["migration_retries"]),
+                "safe_enters": int(extra["safe_mode_enters"]),
+                "dropped": int(extra["telemetry_dropped"]),
+                "trace_ok": check.ok,
+                "trace_violations": check.invariants_violated(),
+            }
+        )
+    return rows
+
+
+def test_a11_degraded_plane(once):
+    rows = once(compute_a11)
+    print()
+    print(
+        render_table(
+            ["scenario", "energy_kwh", "undelivered", "gold_viol", "failed",
+             "retries", "safe_enters", "dropped", "trace_ok"],
+            [
+                [r["label"], r["energy_kwh"], r["violation"], r["gold"],
+                 r["failed"], r["retries"], r["safe_enters"], r["dropped"],
+                 "yes" if r["trace_ok"] else "NO"]
+                for r in rows
+            ],
+            title="A11: degraded management plane (S3-PM)",
+        )
+    )
+    by_label = {r["label"]: r for r in rows}
+    # Every run — including the degraded ones — must replay cleanly
+    # through the invariant checker; a certified table or no table.
+    for r in rows:
+        assert r["trace_ok"], "{}: invariants fired: {}".format(
+            r["label"], r["trace_violations"]
+        )
+    # The headline claim: gold service survives 10 % migration failures
+    # plus a stale, lossy telemetry pipeline within 2x of fault-free.
+    base_gold = by_label["fault-free"]["gold"]
+    worst = by_label["migr-10%+stale"]
+    assert worst["gold"] <= max(2.0 * base_gold, GOLD_FLOOR)
+    # Ride-through, not avoidance: the degraded runs actually degraded.
+    assert worst["failed"] > 0
+    assert worst["dropped"] > 0
+    assert by_label["fault-free"]["failed"] == 0
+    assert by_label["fault-free"]["safe_enters"] == 0

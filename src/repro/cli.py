@@ -6,6 +6,8 @@ Gives operators the paper's experiments without writing Python::
     python -m repro.cli run --policy S3-PM --hosts 16 --vms 64 --hours 24
     python -m repro.cli compare --hosts 12 --vms 48 --hours 24 --workers 4
     python -m repro.cli faults S3-PM --rate 0,0.05,0.1,0.2 --mttr-h 4
+    python -m repro.cli chaos S3-PM --migration-fail-rate 0.1 \
+        --telemetry-staleness-s 60
     python -m repro.cli policies
     python -m repro.cli cache info
 
@@ -390,6 +392,94 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Degraded-plane scenario: migration faults plus stale telemetry."""
+    from repro.datacenter.faults import MigrationFaultModel
+    from repro.telemetry.validate import validate_trace
+    from repro.telemetry.view import StalenessModel
+
+    try:
+        config = policy_by_name(args.policy)
+    except (KeyError, ValueError):
+        print(
+            "repro chaos: unknown policy {!r} (choose from {})".format(
+                args.policy, ", ".join(sorted(POLICIES))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if not 0.0 <= args.migration_fail_rate < 1.0:
+        print("repro chaos: --migration-fail-rate must lie in [0, 1)",
+              file=sys.stderr)
+        return 2
+    if args.telemetry_staleness_s < 0:
+        print("repro chaos: --telemetry-staleness-s must be >= 0",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.telemetry_dropout < 1.0:
+        print("repro chaos: --telemetry-dropout must lie in [0, 1)",
+              file=sys.stderr)
+        return 2
+    kwargs = _scenario_kwargs(args)
+    kwargs.pop("fault_model", None)  # chaos owns the fault model
+    if args.migration_fail_rate > 0 or args.wake_failure_rate > 0:
+        migration = (
+            MigrationFaultModel(failure_rate=args.migration_fail_rate)
+            if args.migration_fail_rate > 0
+            else None
+        )
+        kwargs["fault_model"] = FaultModel(
+            wake_failure_rate=args.wake_failure_rate,
+            migration=migration,
+        )
+    if args.telemetry_staleness_s > 0 or args.telemetry_dropout > 0:
+        kwargs["telemetry_model"] = StalenessModel(
+            delay_s=args.telemetry_staleness_s,
+            dropout_rate=args.telemetry_dropout,
+        )
+    result = run_scenario(config, trace=True, **kwargs)
+    buf = result.trace
+    if buf is None:  # pragma: no cover - run_scenario(trace=True) guarantees it
+        raise RuntimeError("run_scenario(trace=True) returned no trace")
+    outcome = validate_trace(buf, report=result.report)
+    if args.out:
+        buf.write(args.out)
+        print(
+            "wrote {} event(s) to {} (sha256 {})".format(
+                len(buf), args.out, buf.trace_hash()
+            )
+        )
+    if args.json:
+        payload = result.report.to_dict()
+        payload["trace_check"] = outcome.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if outcome.ok else 1
+    print(SimReport.header())
+    print(result.report.row())
+    ex = result.report.extra
+    print()
+    print(
+        render_table(
+            ["started", "completed", "aborted", "failed", "retries",
+             "safe_enters", "safe_exits", "telemetry_drop"],
+            [[
+                int(ex.get("migrations_started", 0)),
+                int(ex.get("migrations_completed", 0)),
+                int(ex.get("migrations_aborted", 0)),
+                int(ex.get("migrations_failed", 0)),
+                int(ex.get("migration_retries", 0)),
+                int(ex.get("safe_mode_enters", 0)),
+                int(ex.get("safe_mode_exits", 0)),
+                int(ex.get("telemetry_dropped", 0)),
+            ]],
+            title="{}: degraded-plane counters".format(config.name),
+        )
+    )
+    print()
+    print(outcome.render_text())
+    return 0 if outcome.ok else 1
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.action == "clear":
@@ -506,6 +596,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(faults_parser)
     faults_parser.set_defaults(func=cmd_faults)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run one traced degraded-plane scenario (migration faults + "
+        "stale telemetry) and certify its trace",
+    )
+    chaos_parser.add_argument(
+        "policy",
+        nargs="?",
+        default="S3-PM",
+        help="policy preset to stress (default: S3-PM)",
+    )
+    chaos_parser.add_argument(
+        "--migration-fail-rate",
+        type=float,
+        default=0.1,
+        help="probability a migration fails mid-copy (default: 0.1)",
+    )
+    chaos_parser.add_argument(
+        "--telemetry-staleness-s",
+        type=float,
+        default=60.0,
+        help="publication delay of the manager's telemetry view in seconds "
+        "(default: 60)",
+    )
+    chaos_parser.add_argument(
+        "--telemetry-dropout",
+        type=float,
+        default=0.0,
+        help="probability an individual sampler tick is lost (default: 0)",
+    )
+    chaos_parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the trace JSONL to this file",
+    )
+    _add_scenario_args(chaos_parser)
+    chaos_parser.set_defaults(func=cmd_chaos)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the scenario result cache"

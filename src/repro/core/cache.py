@@ -42,7 +42,10 @@ from typing import Any, Dict, Iterable, Optional, Union
 #: Bump to invalidate every cached result after a format change.
 #: 2: report.extra gained the fault-recovery counters (wake_retries,
 #:    blacklists, escalations, hosts_repaired, retires_unknown).
-CACHE_SCHEMA = 2
+#: 3: report.extra gained the degraded-plane counters (migrations_started/
+#:    completed/aborted/failed, migration_retries, safe_mode_enters/exits,
+#:    telemetry_dropped).
+CACHE_SCHEMA = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"

@@ -88,6 +88,34 @@ class ManagerConfig:
     #: extra hosts beyond the computed need (None disables escalation).
     escalation_after_ticks: Optional[int] = 3
     escalation_boost_hosts: int = 1
+    #: Migration retry policy (evacuations only; balancer moves are
+    #: opportunistic and simply retried by the next balancing round): a
+    #: failed mid-copy migration is retried up to this many times ...
+    migration_retry_limit: int = 2
+    #: ... after an exponential backoff ``base * 2^(attempt-1)`` capped at
+    #: ``migration_backoff_max_s``, re-planning the destination when the
+    #: original target is no longer viable.
+    migration_backoff_base_s: float = 30.0
+    migration_backoff_max_s: float = 300.0
+    #: Total wall-clock budget for one VM's retry chain; once exceeded no
+    #: further retry starts and the evacuation aborts (None = unbounded).
+    migration_deadline_s: Optional[float] = 1800.0
+    #: Safe-mode governor: freeze consolidation (no new evacuations or
+    #: parks; in-flight evacuations drain) when the observed migration
+    #: failure fraction over ``safe_mode_window_s`` reaches this threshold
+    #: with at least ``safe_mode_min_failures`` failures observed, or the
+    #: telemetry snapshot the manager plans against is older than
+    #: ``safe_mode_telemetry_age_s``.  None disables the governor.
+    safe_mode_failure_threshold: Optional[float] = 0.5
+    safe_mode_min_failures: int = 3
+    safe_mode_window_s: float = 1800.0
+    #: Telemetry-age trigger; only meaningful when a staleness model is
+    #: attached (ground-truth reads have age zero).
+    safe_mode_telemetry_age_s: Optional[float] = 600.0
+    #: Hysteresis: safe mode holds at least this long, and exits only once
+    #: the failure rate has fallen to half the entry threshold (and the
+    #: telemetry age back under its limit).
+    safe_mode_hold_s: float = 900.0
 
     def __post_init__(self) -> None:
         if self.period_s <= 0 or self.watchdog_period_s <= 0:
@@ -130,6 +158,33 @@ class ManagerConfig:
             raise ValueError("escalation_after_ticks must be >= 1 when set")
         if self.escalation_boost_hosts < 1:
             raise ValueError("escalation_boost_hosts must be >= 1")
+        if self.migration_retry_limit < 0:
+            raise ValueError("migration_retry_limit must be >= 0")
+        if self.migration_backoff_base_s <= 0:
+            raise ValueError("migration_backoff_base_s must be positive")
+        if self.migration_backoff_max_s < self.migration_backoff_base_s:
+            raise ValueError(
+                "migration_backoff_max_s must be >= migration_backoff_base_s"
+            )
+        if self.migration_deadline_s is not None and self.migration_deadline_s <= 0:
+            raise ValueError("migration_deadline_s must be positive when set")
+        if self.safe_mode_failure_threshold is not None and not (
+            0.0 < self.safe_mode_failure_threshold <= 1.0
+        ):
+            raise ValueError(
+                "safe_mode_failure_threshold must be in (0, 1] when set"
+            )
+        if self.safe_mode_min_failures < 1:
+            raise ValueError("safe_mode_min_failures must be >= 1")
+        if self.safe_mode_window_s <= 0:
+            raise ValueError("safe_mode_window_s must be positive")
+        if (
+            self.safe_mode_telemetry_age_s is not None
+            and self.safe_mode_telemetry_age_s <= 0
+        ):
+            raise ValueError("safe_mode_telemetry_age_s must be positive when set")
+        if self.safe_mode_hold_s <= 0:
+            raise ValueError("safe_mode_hold_s must be positive")
 
     def with_overrides(self, **kwargs: Any) -> "ManagerConfig":
         """A copy with selected fields replaced (used by sweeps)."""

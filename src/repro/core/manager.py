@@ -26,6 +26,7 @@ if TYPE_CHECKING:
     from repro.sim.events import Event
     from repro.sim.process import Process
     from repro.telemetry.trace import TraceBuffer
+    from repro.telemetry.view import TelemetryFeed
 
 from repro.core.config import ManagerConfig
 from repro.core.predictor import make_predictor
@@ -51,6 +52,9 @@ class ManagementLog:
     escalations: int = 0
     hosts_repaired: int = 0
     retires_unknown: int = 0
+    migration_retries: int = 0
+    safe_mode_enters: int = 0
+    safe_mode_exits: int = 0
     reactive_wakes: int = 0
     cap_deferrals: int = 0
     parks_started: int = 0
@@ -102,6 +106,7 @@ class PowerAwareManager:
         engine: MigrationEngine,
         config: Optional[ManagerConfig] = None,
         trace: Optional["TraceBuffer"] = None,
+        telemetry: Optional["TelemetryFeed"] = None,
     ) -> None:
         self.env = env
         self.cluster = cluster
@@ -112,6 +117,9 @@ class PowerAwareManager:
         self.log = ManagementLog()
         #: Decision-trace sink; None disables tracing at zero cost.
         self._trace = trace
+        #: Telemetry pipeline the manager plans against; None reads
+        #: ground truth directly (see :mod:`repro.telemetry.view`).
+        self.telemetry = telemetry
         self._pending: List[Tuple[VM, float]] = []
         self._evacs: Dict[str, _EvacuationTask] = {}
         self._surplus_rounds = 0
@@ -128,6 +136,11 @@ class PowerAwareManager:
         #: Consecutive watchdog ticks with an unresolved shortfall
         #: (escalation counter).
         self._shortfall_ticks = 0
+        #: Degradation governor: while True, consolidation is frozen —
+        #: no new evacuations and no parks; in-flight evacuations drain
+        #: their migrations but leave the host active.
+        self._safe_mode = False
+        self._safe_mode_entered_t = 0.0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -286,9 +299,11 @@ class PowerAwareManager:
     def evaluate(self) -> None:
         """One consolidation round (public for unit tests)."""
         now = self.env.now
-        demand = self.cluster.demand_cores(now) + sum(
+        observed, telemetry_age = self._observe(now)
+        demand = observed + sum(
             self._admission_demand(vm) for vm, _ in self._pending
         )
+        self._update_safe_mode(now, telemetry_age)
         self.predictor.observe(now, demand)
         predicted = max(self.predictor.predict(), demand)
         needed_cores = predicted * (1.0 + self.config.headroom) / self.config.cpu_target
@@ -300,7 +315,15 @@ class PowerAwareManager:
 
         if self.config.enable_power_mgmt:
             min_host_cores = min(h.cores for h in self.cluster.hosts)
-            if committed > cap_cores + min_host_cores - 1e-9:
+            if self._safe_mode:
+                # Safe mode freezes every shrink path (even cap-forced): a
+                # plane that cannot migrate reliably — or cannot see the
+                # cluster — must not strand more VMs mid-evacuation.
+                # Growing stays allowed; waking hosts needs no migrations.
+                self._surplus_rounds = 0
+                if committed < needed_cores:
+                    self._grow(needed_cores - committed, reactive=False)
+            elif committed > cap_cores + min_host_cores - 1e-9:
                 # Power-budget violation beats hysteresis: shed capacity
                 # now, even if demand would prefer to keep it — remaining
                 # hosts may run overloaded (booked as violations).
@@ -319,6 +342,101 @@ class PowerAwareManager:
 
         if self.config.enable_balancing:
             self._balance()
+
+    # ------------------------------------------------------------------
+    # Degraded-plane machinery: stale telemetry and the safe-mode governor
+    # ------------------------------------------------------------------
+
+    def _observe(self, now: float) -> Tuple[float, float]:
+        """``(demand_cores, telemetry_age_s)`` the manager plans with.
+
+        Without a telemetry feed the manager reads ground truth (age
+        zero), exactly as before.  With one, sizing decisions use the
+        newest *visible* snapshot — which may be arbitrarily stale under
+        the staleness model — so grow/shrink can be wrong-but-plausible;
+        the live per-host checks elsewhere (watchdog overload trigger,
+        stale-plan cancellation, admission fitting) reconcile the plan
+        with reality when they disagree.
+        """
+        if self.telemetry is None:
+            return self.cluster.demand_cores(now), 0.0
+        view = self.telemetry.view(now)
+        if view is None:
+            # Cold start: nothing has arrived yet.  Plan on ground truth
+            # but report the age honestly so the governor can react.
+            return self.cluster.demand_cores(now), now
+        return view.demand_cores, view.age_s(now)
+
+    def _observed_failure_rate(self, now: float) -> Tuple[float, int]:
+        """``(failure_fraction, failures)`` over the safe-mode window.
+
+        The engine appends records in finish-time order, so one backward
+        scan bounded by the window suffices.
+        """
+        window = self.config.safe_mode_window_s
+        failed = 0
+        total = 0
+        for record in reversed(self.engine.records):
+            if record.start_s + record.duration_s < now - window:
+                break
+            total += 1
+            if record.failed:
+                failed += 1
+        return (failed / total if total else 0.0, failed)
+
+    @property
+    def safe_mode(self) -> bool:
+        """True while the degradation governor has consolidation frozen."""
+        return self._safe_mode
+
+    def _update_safe_mode(self, now: float, telemetry_age_s: float) -> None:
+        """Enter/exit safe mode based on failure rate and telemetry age.
+
+        Exit is hysteretic: safe mode holds at least ``safe_mode_hold_s``
+        and releases only once the failure rate has fallen to half the
+        entry threshold (and telemetry is fresh again), so a plane that
+        oscillates around the threshold does not flap.
+        """
+        cfg = self.config
+        threshold = cfg.safe_mode_failure_threshold
+        if threshold is None:
+            return
+        rate, failures = self._observed_failure_rate(now)
+        age_limit = cfg.safe_mode_telemetry_age_s
+        rate_trip = failures >= cfg.safe_mode_min_failures and rate >= threshold
+        age_trip = age_limit is not None and telemetry_age_s > age_limit
+        if not self._safe_mode:
+            if rate_trip or age_trip:
+                self._safe_mode = True
+                self._safe_mode_entered_t = now
+                reason = "migration-failures" if rate_trip else "telemetry-stale"
+                self.log.safe_mode_enters += 1
+                self.log.record(
+                    now, "safe-mode-enter",
+                    "{}: rate={:.2f} age={:.0f}s".format(
+                        reason, rate, telemetry_age_s
+                    ),
+                )
+                if self._trace is not None:
+                    self._trace.safe_mode_enter(
+                        now, reason,
+                        failure_rate=rate,
+                        telemetry_age_s=telemetry_age_s,
+                    )
+            return
+        if now - self._safe_mode_entered_t < cfg.safe_mode_hold_s:
+            return
+        calm = failures < cfg.safe_mode_min_failures or rate < 0.5 * threshold
+        fresh = age_limit is None or telemetry_age_s <= age_limit
+        if calm and fresh:
+            self._safe_mode = False
+            dwell = now - self._safe_mode_entered_t
+            self.log.safe_mode_exits += 1
+            self.log.record(
+                now, "safe-mode-exit", "after {:.0f}s".format(dwell)
+            )
+            if self._trace is not None:
+                self._trace.safe_mode_exit(now, dwell_s=dwell)
 
     def _balance(self) -> None:
         now = self.env.now
@@ -368,7 +486,11 @@ class PowerAwareManager:
         if not self.config.enable_power_mgmt:
             return
         now = self.env.now
-        demand = self.cluster.demand_cores(now)
+        # The aggregate trigger plans on the telemetry view (possibly
+        # stale); the host-overload walk below stays on live per-host
+        # state — it *is* the reconciliation path that catches what a
+        # stale aggregate hides.
+        demand, _ = self._observe(now)
         committed = self.cluster.committed_capacity_cores()
         # Evacuating hosts still serve load until parked; but their exit is
         # imminent, so treat them as lost capacity unless we cancel.
@@ -731,7 +853,34 @@ class PowerAwareManager:
             if not dst.is_active or not dst.fits(vm):
                 task.cancel()  # plan went stale
                 break
-            migrations.append(self.engine.migrate(vm, dst))
+            try:
+                flight = self.engine.migrate(vm, dst)
+            except RuntimeError:
+                # Admission race: a concurrent in-flight reservation can
+                # fill the destination between the staleness check above
+                # and the engine's own admission.  The plan is stale —
+                # cancel the task instead of crashing the simulation.
+                task.cancel()
+                self.log.record(
+                    self.env.now, "evac-stale",
+                    "{}: {}->{}".format(host.name, vm.name, dst.name),
+                )
+                if self._trace is not None:
+                    self._trace.decision(
+                        self.env.now, "evac-stale", host.name,
+                        detail="{}->{}".format(vm.name, dst.name),
+                    )
+                break
+            if self.engine.can_fail:
+                # Fault model attached: watch each flight and retry on a
+                # mid-copy failure.  The wrapper is gated so fault-free
+                # runs submit the raw engine processes exactly as before
+                # (byte-identical traces).
+                migrations.append(
+                    self.env.process(self._finish_migration(task, vm, flight))
+                )
+            else:
+                migrations.append(flight)
         if migrations:
             yield self.env.all_of(migrations)
         parkable = (
@@ -740,6 +889,10 @@ class PowerAwareManager:
             and host.mem_reserved_gb <= 0
             and host.is_active
             and self._can_spare(host)
+            # Safe mode: draining evacuations finish their migrations but
+            # must not park — the freeze window admits no park decisions
+            # (a checked trace invariant).
+            and not self._safe_mode
         )
         if parkable:
             state = self._choose_park_state()
@@ -768,6 +921,104 @@ class PowerAwareManager:
                 )
         host.evacuating = False
         self._evacs.pop(host.name, None)
+
+    def _finish_migration(
+        self, task: _EvacuationTask, vm: VM, flight: "Process"
+    ) -> Generator["Event", Any, None]:
+        """Watch one evacuation flight; retry failed copies with backoff.
+
+        Bounded retries (``migration_retry_limit``) with exponential
+        backoff, destination re-planning before each attempt, and a
+        wall-clock deadline on the whole chain.  Exhaustion cancels the
+        evacuation task so the host un-parks instead of wedging.
+        """
+        cfg = self.config
+        chain_started = self.env.now
+        attempt = 0
+        while True:
+            record = yield flight
+            if record is None or not record.failed:
+                return
+            if task.cancelled or vm.host is not task.host:
+                return
+            attempt += 1
+            if attempt > cfg.migration_retry_limit:
+                task.cancel()
+                self.log.record(
+                    self.env.now, "migration-exhausted",
+                    "{}: {} attempt(s)".format(vm.name, attempt - 1),
+                )
+                return
+            backoff = min(
+                cfg.migration_backoff_base_s * (2 ** (attempt - 1)),
+                cfg.migration_backoff_max_s,
+            )
+            deadline = cfg.migration_deadline_s
+            if (
+                deadline is not None
+                and self.env.now + backoff - chain_started > deadline
+            ):
+                task.cancel()
+                self.log.record(
+                    self.env.now, "migration-deadline",
+                    "{} after {:.0f}s".format(
+                        vm.name, self.env.now - chain_started
+                    ),
+                )
+                return
+            yield self.env.timeout(backoff)
+            if task.cancelled or vm.host is not task.host or vm.migrating:
+                return
+            dst = self._retry_destination(task, vm)
+            if dst is None:
+                task.cancel()
+                return
+            self.log.migration_retries += 1
+            self.log.record(
+                self.env.now, "migration-retry",
+                "{} attempt {} -> {}".format(vm.name, attempt + 1, dst.name),
+            )
+            if self._trace is not None:
+                self._trace.migration_retry(
+                    self.env.now, vm.name, task.host.name, dst.name,
+                    attempt=attempt + 1, backoff_s=backoff,
+                )
+            try:
+                flight = self.engine.migrate(vm, dst)
+            except RuntimeError:
+                # The re-planned destination filled during the backoff.
+                task.cancel()
+                return
+
+    def _retry_destination(
+        self, task: _EvacuationTask, vm: VM
+    ) -> Optional[Host]:
+        """Re-plan where ``vm`` should land for a retried migration.
+
+        Re-runs the evacuation planner over the host's *remaining* VMs so
+        the retry sees current loads and reservations; the original
+        destination may be picked again if it is still the best target.
+        """
+        now = self.env.now
+        targets = [
+            t
+            for t in self.cluster.placeable_hosts()
+            if t is not task.host and not t.evacuating
+        ]
+        plan = plan_evacuation(
+            task.host,
+            targets,
+            demand_fn=lambda v: v.demand_cores(now),
+            cpu_target=self.config.cpu_target,
+            trace=self._trace,
+            now=now,
+        )
+        if plan is None:
+            return None
+        for planned_vm, dst in plan:
+            if planned_vm is vm:
+                return dst
+        return None
 
     # ------------------------------------------------------------------
     # Operator maintenance mode
@@ -842,12 +1093,19 @@ class PowerAwareManager:
         migrations = []
         for vm, dst in plan:
             if vm.host is host and not vm.migrating and dst.is_active:
-                migrations.append(self.engine.migrate(vm, dst))
+                try:
+                    migrations.append(self.engine.migrate(vm, dst))
+                except RuntimeError:
+                    # Concurrent reservation filled the destination since
+                    # planning; leave the VM in place — the occupancy
+                    # check below aborts the drain cleanly.
+                    continue
         if migrations:
             yield self.env.all_of(migrations)
         if host.vms or host.mem_reserved_gb > 0:
             host.evacuating = False
             host.in_maintenance = False
+            self.log.evacuations_aborted += 1
             self.log.record(self.env.now, "maintenance-abort", host.name)
             if self._trace is not None:
                 self._trace.evacuation_end(self.env.now, host.name, "aborted")

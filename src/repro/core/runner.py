@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.core.config import ManagerConfig
 from repro.core.manager import PowerAwareManager
 from repro.datacenter.cluster import Cluster
-from repro.datacenter.faults import FaultModel
+from repro.datacenter.faults import FaultModel, MigrationFaultInjector
 from repro.datacenter.vm import Priority, VM
 from repro.migration.engine import MigrationEngine
 from repro.migration.model import PreCopyModel
@@ -28,6 +28,7 @@ from repro.sim import Environment
 from repro.telemetry.metrics import SimReport, build_report
 from repro.telemetry.sampler import ClusterSampler
 from repro.telemetry.trace import TraceBuffer
+from repro.telemetry.view import StalenessModel, TelemetryFeed
 from repro.workload.churn import ChurnGenerator
 from repro.workload.fleet import FleetSpec, build_fleet
 
@@ -110,6 +111,7 @@ def run_scenario(
     churn_rate_per_h: float = 0.0,
     churn_lifetime_s: float = 6 * 3600.0,
     fault_model: Optional[FaultModel] = None,
+    telemetry_model: Optional[StalenessModel] = None,
     trace: bool = False,
     trace_maxlen: Optional[int] = None,
 ) -> ScenarioResult:
@@ -127,8 +129,13 @@ def run_scenario(
         epoch_s: telemetry/demand refresh interval.
         migration_model: pre-copy fabric parameters.
         churn_rate_per_h: VM arrivals per hour (0 disables churn).
-        fault_model: optional wake-failure injection (see
+        fault_model: optional fault injection — wake failures and, via
+            its ``migration`` field, mid-copy migration failures (see
             :class:`repro.datacenter.FaultModel`).
+        telemetry_model: optional staleness/dropout pipeline between the
+            sampler and the manager (see
+            :class:`repro.telemetry.view.StalenessModel`); None keeps the
+            manager on ground truth.
         trace: record a structured decision trace (see
             :mod:`repro.telemetry.trace`) into ``result.trace``.
         trace_maxlen: bounded-buffer capacity (None = library default).
@@ -166,9 +173,17 @@ def run_scenario(
             if vm.host is not None:
                 buf.admission(env.now, "initial-place", vm.name, host=vm.host.name)
 
-    engine = MigrationEngine(env, model=migration_model, trace=buf)
-    manager = PowerAwareManager(env, cluster, engine, config, trace=buf)
-    sampler = ClusterSampler(env, cluster, epoch_s=epoch_s)
+    injector = None
+    if fault_model is not None and fault_model.migration is not None:
+        injector = MigrationFaultInjector(fault_model.migration, seed=seed)
+    feed = None
+    if telemetry_model is not None:
+        feed = TelemetryFeed(telemetry_model, seed=seed)
+    engine = MigrationEngine(env, model=migration_model, trace=buf, faults=injector)
+    manager = PowerAwareManager(
+        env, cluster, engine, config, trace=buf, telemetry=feed
+    )
+    sampler = ClusterSampler(env, cluster, epoch_s=epoch_s, feed=feed)
     sampler.start()
     manager.start()
 
@@ -222,6 +237,14 @@ def run_scenario(
             "retires_unknown": float(manager.log.retires_unknown),
             "hosts_out_of_service": float(len(cluster.out_of_service_hosts())),
             "cap_deferrals": float(manager.log.cap_deferrals),
+            "migrations_started": float(engine.started),
+            "migrations_completed": float(engine.completed),
+            "migrations_aborted": float(engine.aborted),
+            "migrations_failed": float(engine.failed),
+            "migration_retries": float(manager.log.migration_retries),
+            "safe_mode_enters": float(manager.log.safe_mode_enters),
+            "safe_mode_exits": float(manager.log.safe_mode_exits),
+            "telemetry_dropped": float(feed.dropped if feed is not None else 0),
             "violation_gold": violation_by_class[Priority.GOLD],
             "violation_silver": violation_by_class[Priority.SILVER],
             "violation_bronze": violation_by_class[Priority.BRONZE],

@@ -16,6 +16,8 @@ from repro.datacenter.faults import (
     FailureBurst,
     FaultInjector,
     FaultModel,
+    MigrationFaultInjector,
+    MigrationFaultModel,
     RepairModel,
     brownout_window,
     burst_window,
@@ -33,6 +35,8 @@ __all__ = [
     "HostNotActive",
     "HostWakeRecord",
     "InsufficientCapacity",
+    "MigrationFaultInjector",
+    "MigrationFaultModel",
     "Priority",
     "RepairModel",
     "VM",

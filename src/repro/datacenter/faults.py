@@ -134,6 +134,39 @@ def brownout_window(
 
 
 @dataclass(frozen=True)
+class MigrationFaultModel:
+    """Per-migration mid-copy failure model.
+
+    Each admitted migration independently fails with probability
+    ``failure_rate``; a failing migration runs for a sampled fraction of
+    its nominal transfer time (uniform in ``[min_fail_fraction,
+    max_fail_fraction)``) before aborting.  The engine rolls the flight
+    back cleanly — the VM stays on its source, the destination memory
+    reservation and the CPU tax are released — and the manager's retry
+    policy decides what happens next.
+
+    Draws come from a dedicated per-migration RNG stream keyed
+    ``migration:{seed}:{id}``, so the outcome of one migration never
+    depends on how many others ran before it, and enabling the model
+    does not perturb the wake-failure streams.
+    """
+
+    failure_rate: float = 0.0
+    min_fail_fraction: float = 0.1
+    max_fail_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        if not 0.0 < self.min_fail_fraction <= self.max_fail_fraction:
+            raise ValueError(
+                "fail fractions must satisfy 0 < min <= max"
+            )
+        if self.max_fail_fraction >= 1.0:
+            raise ValueError("max_fail_fraction must be < 1 (mid-copy)")
+
+
+@dataclass(frozen=True)
 class FaultModel:
     """Failure probabilities for wake (resume/boot) attempts."""
 
@@ -143,6 +176,8 @@ class FaultModel:
     repair: Optional[RepairModel] = None
     #: Time-windowed correlated bursts / brownouts (None = steady state).
     chaos: Optional[ChaosSchedule] = None
+    #: Mid-copy live-migration failures (None = migrations never fail).
+    migration: Optional[MigrationFaultModel] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.wake_failure_rate < 1.0:
@@ -218,3 +253,35 @@ class FaultInjector:
     def wake_latency_scale(self, t: float) -> float:
         """Brownout latency multiplier for a wake starting at ``t``."""
         return self.model.wake_latency_scale_at(t)
+
+
+class MigrationFaultInjector:
+    """Seeded per-migration draw source for mid-copy failures.
+
+    Every migration id gets its own RNG stream (``migration:{seed}:{id}``),
+    so a migration's fate is a pure function of the seed and its admission
+    order — re-planning, retries, and concurrency never shift the draws of
+    unrelated migrations.
+    """
+
+    def __init__(self, model: MigrationFaultModel, seed: int) -> None:
+        self.model = model
+        self._seed = seed
+
+    def draw_failure(self, migration_id: str) -> Optional[float]:
+        """Fail fraction in (0, 1) if this migration fails, else None.
+
+        The returned fraction is the share of the nominal transfer time
+        the flight runs before aborting.
+        """
+        if self.model.failure_rate <= 0:
+            return None
+        digest = zlib.crc32(
+            "migration:{}:{}".format(self._seed, migration_id).encode()
+        )
+        rng = np.random.default_rng(digest)
+        if rng.random() >= self.model.failure_rate:
+            return None
+        return float(
+            rng.uniform(self.model.min_fail_fraction, self.model.max_fail_fraction)
+        )

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 if TYPE_CHECKING:
     from repro.telemetry.trace import TraceBuffer
 
+from repro.datacenter.faults import MigrationFaultInjector
 from repro.datacenter.host import Host
 from repro.datacenter.vm import VM
 from repro.migration.model import PreCopyModel
@@ -26,7 +27,14 @@ from repro.sim import Resource
 
 @dataclass(frozen=True)
 class MigrationRecord:
-    """One completed (or aborted) migration, for the overhead ledger."""
+    """One completed (or aborted/failed) migration, for the overhead ledger.
+
+    ``aborted`` marks a flight whose preconditions evaporated mid-copy
+    (the VM departed, the destination went down); ``failed`` marks an
+    injected mid-copy fault (see
+    :class:`~repro.datacenter.faults.MigrationFaultModel`).  Either way
+    the VM stayed on its source and the switch-over never happened.
+    """
 
     vm_name: str
     src_name: str
@@ -36,6 +44,7 @@ class MigrationRecord:
     downtime_s: float
     transferred_gb: float
     aborted: bool = False
+    failed: bool = False
 
 
 class MigrationEngine:
@@ -48,6 +57,7 @@ class MigrationEngine:
         max_concurrent: int = 4,
         max_per_host: int = 2,
         trace: Optional["TraceBuffer"] = None,
+        faults: Optional[MigrationFaultInjector] = None,
     ) -> None:
         if max_concurrent < 1 or max_per_host < 1:
             raise ValueError("concurrency caps must be >= 1")
@@ -57,12 +67,21 @@ class MigrationEngine:
         self._host_slots: Dict[str, Resource] = {}
         self._max_per_host = max_per_host
         self._trace = trace
+        #: Mid-copy failure injection (None = migrations cannot fail).
+        self.faults = faults
         self.records: List[MigrationRecord] = []
         self.in_flight = 0
         self.completed = 0
         self.aborted = 0
+        #: Injected mid-copy failures (rolled back; retry is the manager's job).
+        self.failed = 0
         #: Total migrations admitted (drives unique trace migration ids).
         self.started = 0
+
+    @property
+    def can_fail(self) -> bool:
+        """True when a mid-copy fault model is attached."""
+        return self.faults is not None and self.faults.model.failure_rate > 0
 
     def _slots_for(self, host: Host) -> Resource:
         if host.name not in self._host_slots:
@@ -114,6 +133,11 @@ class MigrationEngine:
 
     def _run(self, vm: VM, src: Host, dst: Host, migration_id: str = ""):
         outcome = self.model.solve(vm.mem_gb, vm.dirty_rate_gbps)
+        # The fault draw happens at admission from a stream keyed on the
+        # migration id, so the queueing below never shifts it.
+        fail_fraction: Optional[float] = None
+        if self.faults is not None:
+            fail_fraction = self.faults.draw_failure(migration_id)
         start = self.env.now
         with self._cluster_slots.request() as cluster_slot:
             yield cluster_slot
@@ -127,7 +151,12 @@ class MigrationEngine:
                     src.migration_tax_cores += self.model.cpu_tax_cores
                     dst.migration_tax_cores += self.model.cpu_tax_cores
                     try:
-                        yield self.env.timeout(outcome.total_time_s)
+                        if fail_fraction is not None:
+                            yield self.env.timeout(
+                                outcome.total_time_s * fail_fraction
+                            )
+                        else:
+                            yield self.env.timeout(outcome.total_time_s)
                     finally:
                         src.migration_tax_cores -= self.model.cpu_tax_cores
                         dst.migration_tax_cores -= self.model.cpu_tax_cores
@@ -137,14 +166,18 @@ class MigrationEngine:
                             dst.groups_reserved.discard(vm.anti_affinity_group)
                         vm.migrating = False
 
+        failed = fail_fraction is not None
         # Abort if the VM departed / was moved out from under us, or the
-        # destination stopped being a valid target mid-flight.
-        aborted = vm.host is not src or not dst.is_active
-        if not aborted:
+        # destination stopped being a valid target mid-flight.  A failed
+        # flight rolls back the same way: the VM never leaves the source.
+        aborted = not failed and (vm.host is not src or not dst.is_active)
+        if not failed and not aborted:
             src.remove(vm)
             dst.place(vm)
             vm.migration_count += 1
             self.completed += 1
+        elif failed:
+            self.failed += 1
         else:
             self.aborted += 1
         record = MigrationRecord(
@@ -153,23 +186,41 @@ class MigrationEngine:
             dst_name=dst.name,
             start_s=start,
             duration_s=self.env.now - start,
-            downtime_s=outcome.downtime_s,
-            transferred_gb=outcome.transferred_gb,
+            # The switch-over never happened on a failed flight: no
+            # downtime, and only the pre-fault share of the copy moved.
+            downtime_s=0.0 if failed else outcome.downtime_s,
+            transferred_gb=(
+                outcome.transferred_gb * fail_fraction
+                if fail_fraction is not None
+                else outcome.transferred_gb
+            ),
             aborted=aborted,
+            failed=failed,
         )
         self.records.append(record)
         if self._trace is not None:
-            self._trace.migration_end(
-                self.env.now,
-                migration_id,
-                vm.name,
-                src.name,
-                dst.name,
-                aborted=aborted,
-                duration_s=record.duration_s,
-                downtime_s=record.downtime_s,
-                transferred_gb=record.transferred_gb,
-            )
+            if failed:
+                self._trace.migration_failed(
+                    self.env.now,
+                    migration_id,
+                    vm.name,
+                    src.name,
+                    dst.name,
+                    elapsed_s=record.duration_s,
+                    fail_fraction=fail_fraction if fail_fraction is not None else 0.0,
+                )
+            else:
+                self._trace.migration_end(
+                    self.env.now,
+                    migration_id,
+                    vm.name,
+                    src.name,
+                    dst.name,
+                    aborted=aborted,
+                    duration_s=record.duration_s,
+                    downtime_s=record.downtime_s,
+                    transferred_gb=record.transferred_gb,
+                )
         return record
 
     # ------------------------------------------------------------------

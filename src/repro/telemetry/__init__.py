@@ -23,10 +23,14 @@ from repro.telemetry.validate import (
     Violation,
     validate_trace,
 )
+from repro.telemetry.view import ClusterView, StalenessModel, TelemetryFeed
 
 __all__ = [
     "ClusterSampler",
+    "ClusterView",
     "SimReport",
+    "StalenessModel",
+    "TelemetryFeed",
     "TimeSeries",
     "TRACE_SCHEMA_VERSION",
     "TraceBuffer",

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.vm import Priority
 from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.view import ClusterView, TelemetryFeed
 
 
 class ClusterSampler:
@@ -47,12 +48,18 @@ class ClusterSampler:
         env: "Environment",  # noqa: F821
         cluster: Cluster,
         epoch_s: float = 60.0,
+        feed: Optional[TelemetryFeed] = None,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
         self.env = env
         self.cluster = cluster
         self.epoch_s = epoch_s
+        #: Optional staleness pipeline: each tick publishes one
+        #: :class:`~repro.telemetry.view.ClusterView` through it (see
+        #: :mod:`repro.telemetry.view`); None keeps the manager on ground
+        #: truth exactly as before.
+        self.feed = feed
         self.series: Dict[str, TimeSeries] = {
             name: TimeSeries(name) for name in self.SERIES
         }
@@ -114,6 +121,16 @@ class ClusterSampler:
         self.shortfall_core_s += shortfall * self.epoch_s
         self.demand_core_s += demand * self.epoch_s
         self.samples += 1
+        if self.feed is not None:
+            self.feed.publish(
+                ClusterView(
+                    taken_at=now,
+                    demand_cores=demand,
+                    committed_capacity_cores=self.cluster.committed_capacity_cores(),
+                    active_hosts=len(self.cluster.active_hosts()),
+                    vm_count=self.cluster.vm_count,
+                )
+            )
         return shortfall
 
     def _run(self):

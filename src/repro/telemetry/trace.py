@@ -18,7 +18,12 @@ change as a typed event:
 * fault injection from :class:`~repro.datacenter.faults.FaultInjector`;
 * fault-recovery activity — wake retries with their enforced backoff,
   blacklist hold-downs, operator repairs, and watchdog escalation (see
-  :mod:`repro.datacenter.recovery`).
+  :mod:`repro.datacenter.recovery`);
+* degraded-plane activity — injected mid-copy migration failures with
+  their rollback, the manager's migration retries, and safe-mode
+  enter/exit from the degradation governor (see
+  :class:`~repro.datacenter.faults.MigrationFaultModel` and
+  :mod:`repro.telemetry.view`).
 
 Producers hold an ``Optional[TraceBuffer]`` and emit through its typed
 factory methods behind an ``if trace is not None`` guard, so tracing is
@@ -152,6 +157,63 @@ class MigrationEnd(TraceEvent):
     duration_s: float
     downtime_s: float
     transferred_gb: float
+
+
+@dataclass(frozen=True)
+class MigrationFailed(TraceEvent):
+    """An injected mid-copy fault aborted one migration start.
+
+    Like ``migration-end``, this closes the matching ``migration-start``;
+    the VM stayed on ``src`` and the destination reservation was rolled
+    back (the validator's rollback-conservation family replays that).
+    """
+
+    event = "migration-failed"
+
+    migration_id: str
+    vm: str
+    src: str
+    dst: str
+    elapsed_s: float
+    fail_fraction: float
+
+
+@dataclass(frozen=True)
+class MigrationRetry(TraceEvent):
+    """The manager re-attempted a failed evacuation migration.
+
+    ``attempt`` is the 1-based migration attempt for this VM within one
+    evacuation (so always >= 2 here); ``backoff_s`` is the enforced delay
+    since the failure — the validator checks the chain is monotone.
+    """
+
+    event = "migration-retry"
+
+    vm: str
+    host: str
+    dst: str
+    attempt: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
+class SafeModeEnter(TraceEvent):
+    """The degradation governor froze consolidation."""
+
+    event = "safe-mode-enter"
+
+    reason: str
+    failure_rate: float
+    telemetry_age_s: float
+
+
+@dataclass(frozen=True)
+class SafeModeExit(TraceEvent):
+    """The degradation governor re-enabled consolidation (hysteresis met)."""
+
+    event = "safe-mode-exit"
+
+    dwell_s: float
 
 
 @dataclass(frozen=True)
@@ -302,6 +364,10 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     FaultInjected,
     MigrationStart,
     MigrationEnd,
+    MigrationFailed,
+    MigrationRetry,
+    SafeModeEnter,
+    SafeModeExit,
     EvacuationPlanned,
     EvacuationEnd,
     ManagerDecision,
@@ -431,6 +497,52 @@ class TraceBuffer:
                 transferred_gb=transferred_gb,
             )
         )
+
+    def migration_failed(
+        self,
+        t: float,
+        migration_id: str,
+        vm: str,
+        src: str,
+        dst: str,
+        elapsed_s: float,
+        fail_fraction: float,
+    ) -> None:
+        self.emit(
+            MigrationFailed(
+                t=t,
+                migration_id=migration_id,
+                vm=vm,
+                src=src,
+                dst=dst,
+                elapsed_s=elapsed_s,
+                fail_fraction=fail_fraction,
+            )
+        )
+
+    def migration_retry(
+        self, t: float, vm: str, host: str, dst: str, attempt: int, backoff_s: float
+    ) -> None:
+        self.emit(
+            MigrationRetry(
+                t=t, vm=vm, host=host, dst=dst, attempt=attempt, backoff_s=backoff_s
+            )
+        )
+
+    def safe_mode_enter(
+        self, t: float, reason: str, failure_rate: float, telemetry_age_s: float
+    ) -> None:
+        self.emit(
+            SafeModeEnter(
+                t=t,
+                reason=reason,
+                failure_rate=failure_rate,
+                telemetry_age_s=telemetry_age_s,
+            )
+        )
+
+    def safe_mode_exit(self, t: float, dwell_s: float) -> None:
+        self.emit(SafeModeExit(t=t, dwell_s=dwell_s))
 
     def evacuation_planned(self, t: float, host: str, vms: int, ok: bool) -> None:
         self.emit(EvacuationPlanned(t=t, host=host, vms=vms, ok=ok))

@@ -31,8 +31,22 @@ stable id so tests and CI output can pinpoint which property broke:
 ``evacuation-lifecycle``
     Every evacuation end matches exactly one open evacuation start.
 ``migration-conservation``
-    Every migration start has exactly one finish/abort; unmatched starts
-    must equal the ``run-end`` in-flight count.
+    Every migration start has exactly one finish/abort/failure; unmatched
+    starts must equal the ``run-end`` in-flight count.
+``migration-rollback``
+    A failed (mid-copy fault) migration must leave the world as it was:
+    the VM stays resident on its source, and the failure payload is sane
+    (fail fraction strictly inside (0, 1), non-negative elapsed time).
+``migration-retry``
+    Retry chains must be monotone: each ``migration-retry`` for a VM
+    follows a failed migration, the attempt number strictly increases
+    within one chain, the backoff never shrinks, and no retry lands
+    inside the backoff window opened by the previous failure.  A fresh
+    migration start without a same-instant retry event opens a new chain.
+``safe-mode``
+    Safe-mode windows must pair up (no nested enters, no exit without an
+    enter, exit dwell matching the replayed window), carry sane payloads,
+    and admit no park decisions while open.
 ``residency``
     VM placement bookkeeping (admissions, retirements, migration
     switch-overs) must stay consistent, and the end-of-run VM count must
@@ -84,8 +98,12 @@ from repro.telemetry.trace import (
     HostRepaired,
     ManagerDecision,
     MigrationEnd,
+    MigrationFailed,
+    MigrationRetry,
     MigrationStart,
     RunEnd,
+    SafeModeEnter,
+    SafeModeExit,
     TraceBuffer,
     TraceError,
     TraceEvent,
@@ -198,6 +216,19 @@ class _HostState:
         self.last_retry_backoff = 0.0
 
 
+class _MigrationChain:
+    """Per-VM retry-chain replay state (migration-retry invariant)."""
+
+    __slots__ = ("last_failure_t", "last_attempt", "last_backoff",
+                 "last_retry_t")
+
+    def __init__(self) -> None:
+        self.last_failure_t: Optional[float] = None
+        self.last_attempt = 0
+        self.last_backoff = 0.0
+        self.last_retry_t: Optional[float] = None
+
+
 def _sequenced(
     trace: Union[TraceBuffer, TraceLog, List[TraceEvent]],
     out: TraceValidationReport,
@@ -271,6 +302,9 @@ def validate_trace(
     last_decision: Dict[Tuple[str, str], float] = {}
     open_migrations: Dict[str, MigrationStart] = {}
     finished_migrations: Set[str] = set()
+    retry_chains: Dict[str, _MigrationChain] = {}
+    safe_mode_since: Optional[float] = None
+    maintenance_hosts: Set[str] = set()
     host_finals: Dict[str, HostFinal] = {}
     run_end: Optional[RunEnd] = None
     prev_seq: Optional[int] = None
@@ -484,6 +518,18 @@ def validate_trace(
                     flag("evacuation-lifecycle", seq, ev.t,
                          "{}: evacuation started twice".format(ev.host))
                 open_evacs.add(ev.host)
+            if ev.action == "maintenance-start":
+                maintenance_hosts.add(ev.host)
+            elif ev.action in ("maintenance-end", "maintenance-abort"):
+                maintenance_hosts.discard(ev.host)
+            if (
+                ev.action == "park"
+                and safe_mode_since is not None
+                and ev.host not in maintenance_hosts
+            ):
+                flag("safe-mode", seq, ev.t,
+                     "{}: park decision inside the safe-mode window opened "
+                     "at t={:.1f}".format(ev.host, safe_mode_since))
         elif isinstance(ev, EvacuationEnd):
             if ev.host not in open_evacs:
                 flag("evacuation-lifecycle", seq, ev.t,
@@ -506,6 +552,12 @@ def validate_trace(
                 flag("migration-conservation", seq, ev.t,
                      "duplicate migration id {}".format(ev.migration_id))
             open_migrations[ev.migration_id] = ev
+            chain = retry_chains.get(ev.vm)
+            if chain is not None and chain.last_retry_t != ev.t:
+                # A start without a same-instant retry event is a fresh
+                # migration (e.g. a later evacuation), not a continuation
+                # of the old chain — its attempts count from one again.
+                del retry_chains[ev.vm]
         elif isinstance(ev, MigrationEnd):
             start_ev = open_migrations.pop(ev.migration_id, None)
             if start_ev is None:
@@ -523,6 +575,7 @@ def validate_trace(
                              ev.migration_id, ev.vm, ev.src, ev.dst,
                              start_ev.vm, start_ev.src, start_ev.dst))
                 if not ev.aborted:
+                    retry_chains.pop(ev.vm, None)
                     tracked = residency.get(ev.vm)
                     if tracked is not None and tracked != ev.src:
                         flag("residency", seq, ev.t,
@@ -530,6 +583,91 @@ def validate_trace(
                              "{}".format(ev.vm, ev.src, tracked))
                     if tracked is not None:
                         residency[ev.vm] = ev.dst
+        elif isinstance(ev, MigrationFailed):
+            start_ev = open_migrations.pop(ev.migration_id, None)
+            if start_ev is None:
+                flag("migration-conservation", seq, ev.t,
+                     "migration-failed {} without a start (or ended "
+                     "twice)".format(ev.migration_id))
+            else:
+                finished_migrations.add(ev.migration_id)
+                if (start_ev.vm, start_ev.src, start_ev.dst) != (
+                    ev.vm, ev.src, ev.dst
+                ):
+                    flag("migration-conservation", seq, ev.t,
+                         "migration {} failure ({}:{}->{}) does not match "
+                         "start ({}:{}->{})".format(
+                             ev.migration_id, ev.vm, ev.src, ev.dst,
+                             start_ev.vm, start_ev.src, start_ev.dst))
+            if not 0.0 < ev.fail_fraction < 1.0:
+                flag("migration-rollback", seq, ev.t,
+                     "migration {} failed with fail fraction {:.3f} outside "
+                     "(0, 1)".format(ev.migration_id, ev.fail_fraction))
+            if ev.elapsed_s < 0:
+                flag("migration-rollback", seq, ev.t,
+                     "migration {} failed with negative elapsed time "
+                     "{:.3f}s".format(ev.migration_id, ev.elapsed_s))
+            tracked = residency.get(ev.vm)
+            if tracked is not None and tracked != ev.src:
+                flag("migration-rollback", seq, ev.t,
+                     "{} failed migrating from {} but is tracked on {} — "
+                     "rollback did not leave the VM on its source".format(
+                         ev.vm, ev.src, tracked))
+            chain = retry_chains.setdefault(ev.vm, _MigrationChain())
+            chain.last_failure_t = ev.t
+        elif isinstance(ev, MigrationRetry):
+            if ev.attempt < 2:
+                flag("migration-retry", seq, ev.t,
+                     "{}: retry attempt {} implies no prior failure".format(
+                         ev.vm, ev.attempt))
+            chain = retry_chains.get(ev.vm)
+            if chain is None or chain.last_failure_t is None:
+                flag("migration-retry", seq, ev.t,
+                     "{}: migration-retry without a prior failed "
+                     "migration".format(ev.vm))
+                chain = retry_chains.setdefault(ev.vm, _MigrationChain())
+            else:
+                if chain.last_attempt and ev.attempt <= chain.last_attempt:
+                    flag("migration-retry", seq, ev.t,
+                         "{}: retry attempt did not increase ({} after "
+                         "{})".format(ev.vm, ev.attempt, chain.last_attempt))
+                if ev.backoff_s + 1e-9 < chain.last_backoff:
+                    flag("migration-retry", seq, ev.t,
+                         "{}: backoff shrank ({:.1f}s after {:.1f}s)".format(
+                             ev.vm, ev.backoff_s, chain.last_backoff))
+                if ev.t < chain.last_failure_t + ev.backoff_s - 1e-9:
+                    flag("migration-retry", seq, ev.t,
+                         "{}: retried {:.1f}s after failure, inside the "
+                         "{:.1f}s backoff window".format(
+                             ev.vm, ev.t - chain.last_failure_t,
+                             ev.backoff_s))
+            chain.last_attempt = ev.attempt
+            chain.last_backoff = ev.backoff_s
+            chain.last_retry_t = ev.t
+        elif isinstance(ev, SafeModeEnter):
+            if safe_mode_since is not None:
+                flag("safe-mode", seq, ev.t,
+                     "safe-mode-enter at t={:.1f} while already in safe "
+                     "mode since t={:.1f}".format(ev.t, safe_mode_since))
+            if ev.reason not in ("migration-failures", "telemetry-stale"):
+                flag("safe-mode", seq, ev.t,
+                     "unknown safe-mode reason {!r}".format(ev.reason))
+            if not 0.0 <= ev.failure_rate <= 1.0 or ev.telemetry_age_s < 0:
+                flag("safe-mode", seq, ev.t,
+                     "malformed safe-mode payload (rate={:.3f}, "
+                     "age={:.1f}s)".format(ev.failure_rate,
+                                           ev.telemetry_age_s))
+            safe_mode_since = ev.t
+        elif isinstance(ev, SafeModeExit):
+            if safe_mode_since is None:
+                flag("safe-mode", seq, ev.t,
+                     "safe-mode-exit without a matching enter")
+            elif abs((ev.t - safe_mode_since) - ev.dwell_s) > 1e-6:
+                flag("safe-mode", seq, ev.t,
+                     "safe-mode-exit reports {:.1f}s dwell but the window "
+                     "opened {:.1f}s ago".format(
+                         ev.dwell_s, ev.t - safe_mode_since))
+            safe_mode_since = None
         elif isinstance(ev, AdmissionEvent):
             if ev.action in _PLACING_ACTIONS:
                 if residency.get(ev.vm) is not None:

@@ -1,0 +1,123 @@
+"""Stale telemetry: the manager's (possibly outdated) view of the cluster.
+
+The manager does not get to read the simulation's ground truth for free.
+In a real control plane, demand observations flow through a metrics
+pipeline that adds publication delay and loses samples; the controller
+plans against the last snapshot that actually arrived.  This module
+models exactly that:
+
+* :class:`ClusterView` — one immutable aggregate snapshot with the
+  instant it was *taken* (its age is measured against that, not against
+  when it became visible);
+* :class:`StalenessModel` — the pipeline's pathology: a constant
+  publication delay plus an i.i.d. per-tick dropout probability, drawn
+  from a dedicated ``telemetry:{seed}:{tick}`` RNG stream so enabling
+  dropout never perturbs any other stream;
+* :class:`TelemetryFeed` — the buffer between the sampler (producer)
+  and the manager (consumer).  The sampler publishes a snapshot each
+  epoch; the manager asks for the newest snapshot *visible* at planning
+  time and falls back to ground truth only before the first snapshot
+  lands (cold start).
+
+With no model attached the feed is never constructed, the manager reads
+ground truth exactly as before, and fault-free runs stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """One aggregate telemetry snapshot the manager can plan against."""
+
+    #: Instant the snapshot was taken (staleness is ``now - taken_at``).
+    taken_at: float
+    demand_cores: float
+    committed_capacity_cores: float
+    active_hosts: int
+    vm_count: int
+
+    def age_s(self, now: float) -> float:
+        """Seconds between the snapshot and ``now`` (never negative)."""
+        return max(0.0, now - self.taken_at)
+
+
+@dataclass(frozen=True)
+class StalenessModel:
+    """Telemetry-pipeline pathology: publication delay plus tick dropout."""
+
+    #: Every snapshot becomes visible ``delay_s`` after it was taken.
+    delay_s: float = 0.0
+    #: Probability an individual sampler tick is lost entirely.
+    dropout_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+
+
+class TelemetryFeed:
+    """Snapshot buffer between the sampler and the manager.
+
+    Dropout draws come from a per-tick RNG stream keyed
+    ``telemetry:{seed}:{tick}``, so whether tick *n* is lost depends only
+    on the seed and *n* — never on how many other random draws the
+    simulation made before it.
+    """
+
+    def __init__(self, model: StalenessModel, seed: int = 0) -> None:
+        self.model = model
+        self._seed = seed
+        self._tick = 0
+        self.published = 0
+        self.dropped = 0
+        #: Snapshots in publication order as ``(visible_at, view)``.
+        self._snapshots: List[Tuple[float, ClusterView]] = []
+
+    def _tick_dropped(self, tick: int) -> bool:
+        if self.model.dropout_rate <= 0:
+            return False
+        digest = zlib.crc32(
+            "telemetry:{}:{}".format(self._seed, tick).encode()
+        )
+        rng = np.random.default_rng(digest)
+        return bool(rng.random() < self.model.dropout_rate)
+
+    def publish(self, view: ClusterView) -> bool:
+        """Offer one sampler snapshot; returns False if the tick was lost."""
+        tick = self._tick
+        self._tick += 1
+        if self._tick_dropped(tick):
+            self.dropped += 1
+            return False
+        self.published += 1
+        self._snapshots.append((view.taken_at + self.model.delay_s, view))
+        return True
+
+    def view(self, now: float) -> Optional[ClusterView]:
+        """Newest snapshot visible at ``now`` (None before the first lands).
+
+        Snapshots are published in ``taken_at`` order with a constant
+        delay, so visibility order equals publication order and a single
+        backward scan finds the newest visible one; everything older is
+        discarded to keep the buffer bounded.
+        """
+        visible: Optional[ClusterView] = None
+        index = len(self._snapshots) - 1
+        while index >= 0:
+            visible_at, candidate = self._snapshots[index]
+            if visible_at <= now + 1e-12:
+                visible = candidate
+                break
+            index -= 1
+        if index > 0:
+            del self._snapshots[:index]
+        return visible

@@ -674,6 +674,63 @@ class UntracedTransitionRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RL010 — no raw MigrationEngine.migrate calls outside the retry wrapper
+# ----------------------------------------------------------------------
+
+
+class RawMigrateRule(Rule):
+    rule_id = "RL010"
+    title = "no MigrationEngine.migrate calls outside the engine/manager"
+    rationale = (
+        "PowerAwareManager wraps evacuation flights in a retry/rollback "
+        "watcher and traces every attempt; a raw `engine.migrate()` call "
+        "elsewhere produces migrations that can fail mid-copy with nobody "
+        "retrying them and no migration-retry trace for the validator — "
+        "route migrations through the manager (balancer moves, "
+        "evacuations) or suppress explicitly"
+    )
+    #: Tests drive the engine directly to exercise its edge cases.
+    skip_test_files = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        # The engine owns the call; the manager hosts the retry wrapper
+        # (and the balancer's opportunistic moves, retried next round).
+        if module.path.name == "engine.py" and module.in_packages(("migration",)):
+            return
+        if module.path.name == "manager.py" and module.in_packages(("core",)):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "migrate"):
+                continue
+            if not self._engine_receiver(func.value):
+                continue
+            yield module.finding(
+                self.rule_id,
+                node,
+                "raw `MigrationEngine.migrate()` call outside the "
+                "engine/manager retry wrapper; failed flights would go "
+                "unretried and untraced — go through the manager",
+            )
+
+    @staticmethod
+    def _engine_receiver(node: ast.expr) -> bool:
+        """True when the ``.migrate`` receiver looks like a MigrationEngine.
+
+        Matches ``engine.migrate(...)``, ``self.engine.migrate(...)``,
+        ``result.engine.migrate(...)`` — any Name/Attribute chain whose
+        final component mentions an engine.
+        """
+        if isinstance(node, ast.Name):
+            return "engine" in node.id.lower()
+        if isinstance(node, ast.Attribute):
+            return "engine" in node.attr.lower()
+        return False
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -687,6 +744,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     RuntimeAssertRule,
     UnpicklableFieldRule,
     UntracedTransitionRule,
+    RawMigrateRule,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}

@@ -1,0 +1,18 @@
+"""Fixture: RL010 — raw migrations bypassing the manager's retry wrapper."""
+
+
+def hot_move(engine, vm, dst):
+    return engine.migrate(vm, dst)  # finding: unretried, untraced flight
+
+
+class Rebalancer:
+    def __init__(self, engine):
+        self.engine = engine
+
+    def shuffle(self, vm, dst):
+        flight = self.engine.migrate(vm, dst)  # finding: bypasses the manager
+        return flight
+
+
+def drain(sim, vm, dst):
+    return sim.engine.migrate(vm, dst)  # finding: nested engine attribute

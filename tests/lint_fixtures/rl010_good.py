@@ -1,0 +1,17 @@
+"""Fixture: RL010 — migrations flow through the manager (or are suppressed)."""
+
+
+def evacuate(manager, host):
+    # The manager plans destinations, wraps each flight in the retry
+    # watcher, and traces every attempt — the sanctioned door.
+    return manager.request_maintenance(host)
+
+
+def bird_migrate(flock, season):
+    # ``.migrate`` on a non-engine receiver is out of scope.
+    return flock.migrate(season)
+
+
+def replay_tool(engine, vm, dst):
+    # Offline replay deliberately skips the retry wrapper: suppressed.
+    return engine.migrate(vm, dst)  # reprolint: disable=RL010
