@@ -79,8 +79,15 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="print a cProfile hot-spot table to stderr (forces in-process "
-        "serial execution)",
+        help="print a cProfile hot-spot table to stderr and write a JSON "
+        "profile artifact (forces in-process serial execution)",
+    )
+    parser.add_argument(
+        "--profile-json",
+        default="repro_profile.json",
+        metavar="PATH",
+        help="where --profile writes its machine-readable artifact "
+        "(top-25 cumulative functions; default: %(default)s)",
     )
 
 
@@ -111,8 +118,13 @@ def _print_timeline(result) -> None:
         print(render_series(result.sampler.series[name].points(), name=name))
 
 
-def _profiled(fn):
-    """Run ``fn()`` under cProfile; print hot spots + wall time to stderr."""
+def _profiled(fn, json_path: Optional[str] = None):
+    """Run ``fn()`` under cProfile; print hot spots + wall time to stderr.
+
+    When ``json_path`` is given, also write a machine-readable artifact —
+    the top 25 functions by cumulative time — so hot-path regressions are
+    diffable across commits without parsing the pstats text dump.
+    """
     import cProfile
     import io
     import pstats
@@ -123,10 +135,35 @@ def _profiled(fn):
     out = fn()
     profiler.disable()
     elapsed = time.perf_counter() - started
+    stats = pstats.Stats(profiler, stream=io.StringIO())
     buf = io.StringIO()
     pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(15)
     print(buf.getvalue(), file=sys.stderr)
     print("wall-clock: {:.3f} s".format(elapsed), file=sys.stderr)
+    if json_path:
+        rows = sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda item: item[1][3],
+            reverse=True,
+        )[:25]
+        artifact = {
+            "wall_clock_s": elapsed,
+            "total_calls": stats.total_calls,  # type: ignore[attr-defined]
+            "top_cumulative": [
+                {
+                    "function": "{}:{}({})".format(*func),
+                    "ncalls": nc,
+                    "primitive_calls": cc,
+                    "tottime_s": tt,
+                    "cumtime_s": ct,
+                }
+                for func, (cc, nc, tt, ct, _callers) in rows
+            ],
+        }
+        with open(json_path, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("profile artifact: {}".format(json_path), file=sys.stderr)
     return out
 
 
@@ -134,7 +171,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = policy_by_name(args.policy)
     kwargs = _scenario_kwargs(args)
     if args.profile:
-        result = _profiled(lambda: run_scenario(config, **kwargs))
+        result = _profiled(
+            lambda: run_scenario(config, **kwargs), json_path=args.profile_json
+        )
     else:
         result = run_scenario(config, **kwargs)
     if args.json:
@@ -160,7 +199,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
     runner = lambda: run_scenarios(  # noqa: E731
         specs, workers=workers, cache=not args.no_cache
     )
-    results = _profiled(runner) if args.profile else runner()
+    results = (
+        _profiled(runner, json_path=args.profile_json)
+        if args.profile
+        else runner()
+    )
     reports = [artifacts.report for artifacts in results]
     if args.json:
         print(

@@ -25,6 +25,7 @@ if TYPE_CHECKING:
     from repro.sim.environment import Environment
     from repro.sim.events import Event
     from repro.sim.process import Process
+    from repro.telemetry.sampler import ClusterSampler
     from repro.telemetry.trace import TraceBuffer
     from repro.telemetry.view import TelemetryFeed
 
@@ -141,6 +142,18 @@ class PowerAwareManager:
         #: their migrations but leave the host active.
         self._safe_mode = False
         self._safe_mode_entered_t = 0.0
+        #: Memoized power-cap capacity: the inputs (cap, min-active floor,
+        #: host inventory) are fixed per run, so the sort in
+        #: :meth:`_cap_capacity_cores` runs once instead of per tick.
+        self._cap_cores_key: Optional[Tuple[float, int]] = None
+        self._cap_cores_value = 0.0
+        #: Optional sampler whose tick walk pre-aggregates the watchdog's
+        #: overload / free-headroom sums (wired by the scenario runner).
+        #: The shared-event ordering guarantees the sampler's callback
+        #: runs immediately before the watchdog's at coincident instants,
+        #: with no state change in between, so the sums are exactly what
+        #: the inventory scans would recompute.
+        self.tick_aggregates: Optional["ClusterSampler"] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -156,12 +169,18 @@ class PowerAwareManager:
 
     def _consolidation_loop(self) -> Generator["Event", Any, None]:
         while True:
+            # Deliberately NOT coalesced: evaluate() spawns wake/evacuation
+            # processes whose urgent start events must run before any
+            # same-instant sampler/watchdog tick observes the cluster — a
+            # shared event would run those later waiters in the same step,
+            # before the spawned processes begin (e.g. the watchdog would
+            # see a host still parked and wake it a second time).
             yield self.env.timeout(self.config.period_s)
             self.evaluate()
 
     def _watchdog_loop(self) -> Generator["Event", Any, None]:
         while True:
-            yield self.env.timeout(self.config.watchdog_period_s)
+            yield self.env.shared_timeout(self.config.watchdog_period_s)
             self.react_to_shortfall()
             self._drain_pending()
 
@@ -246,11 +265,11 @@ class PowerAwareManager:
         return max(vm.demand_cores(self.env.now), 0.25 * vm.vcpus)
 
     def _planning_load(self, host: Host) -> float:
-        now = self.env.now
-        return (
-            sum(vm.demand_cores(now) for vm in host.vms.values())
-            + host.migration_tax_cores
-        )
+        # Resident demand plus the migration tax is exactly what
+        # ``Host.demand_cores`` caches (same accumulation order), so the
+        # per-host walk this used to do collapses into the cached/grid
+        # read — bit-identical, O(1) at sampler-lattice instants.
+        return host.demand_cores(self.env.now)
 
     def _capacity_in_reserve(self) -> bool:
         return bool(self.cluster.parked_hosts()) or bool(self._evacs) or bool(
@@ -309,12 +328,13 @@ class PowerAwareManager:
         needed_cores = predicted * (1.0 + self.config.headroom) / self.config.cpu_target
         cap_cores = self._cap_capacity_cores()
         needed_cores = min(needed_cores, cap_cores)
-        committed = self.cluster.committed_capacity_cores() - sum(
-            h.cores for h in self.cluster.hosts if h.evacuating
+        committed = (
+            self.cluster.committed_capacity_cores()
+            - self.cluster.evacuating_cores()
         )
 
         if self.config.enable_power_mgmt:
-            min_host_cores = min(h.cores for h in self.cluster.hosts)
+            min_host_cores = self.cluster.min_host_cores()
             if self._safe_mode:
                 # Safe mode freezes every shrink path (even cap-forced): a
                 # plane that cannot migrate reliably — or cannot see the
@@ -442,7 +462,6 @@ class PowerAwareManager:
         now = self.env.now
         moves = self.balancer.recommend(
             self.cluster.active_hosts(),
-            demand_fn=lambda vm: vm.demand_cores(now),
             now=now,
         )
         for move in moves:
@@ -494,7 +513,7 @@ class PowerAwareManager:
         committed = self.cluster.committed_capacity_cores()
         # Evacuating hosts still serve load until parked; but their exit is
         # imminent, so treat them as lost capacity unless we cancel.
-        committed -= sum(h.cores for h in self.cluster.hosts if h.evacuating)
+        committed -= self.cluster.evacuating_cores()
         cap_cores = self._cap_capacity_cores()
         if committed >= cap_cores - 1e-9:
             # Power-budget-bound: growing (or cancelling a cap-forced
@@ -510,14 +529,23 @@ class PowerAwareManager:
                 cap_cores - committed,
             )
         else:
-            overload = sum(
-                max(0.0, h.demand_cores(now) - h.cores)
-                for h in self.cluster.active_hosts()
-            )
-            headroom_free = sum(
-                max(0.0, h.cores * self.config.balance.dst_ceiling - h.demand_cores(now))
-                for h in self.cluster.placeable_hosts()
-            )
+            agg = self.tick_aggregates
+            if agg is not None and agg._agg_now == now:
+                overload = agg._agg_overload
+                headroom_free = agg._agg_headroom
+            else:
+                overload = sum(
+                    max(0.0, h.demand_cores(now) - h.cores)
+                    for h in self.cluster.active_hosts()
+                )
+                headroom_free = sum(
+                    max(
+                        0.0,
+                        h.cores * self.config.balance.dst_ceiling
+                        - h.demand_cores(now),
+                    )
+                    for h in self.cluster.placeable_hosts()
+                )
             if overload > 0.25 and overload > headroom_free:
                 trigger = "host-overload"
                 shortfall = min(overload, cap_cores - committed)
@@ -661,10 +689,16 @@ class PowerAwareManager:
         cap = self.config.power_cap_w
         if cap is None:
             return float("inf")
-        per_host_peak = max(h.profile.peak_w for h in self.cluster.hosts)
+        key = (cap, self.config.min_active_hosts)
+        if key == self._cap_cores_key:
+            return self._cap_cores_value
+        per_host_peak = self.cluster.max_peak_w()
         max_hosts = max(int(cap // per_host_peak), self.config.min_active_hosts)
-        largest_first = sorted((h.cores for h in self.cluster.hosts), reverse=True)
-        return sum(largest_first[:max_hosts])
+        largest_first = self.cluster.host_cores_desc()
+        value = sum(largest_first[:max_hosts])
+        self._cap_cores_key = key
+        self._cap_cores_value = value
+        return value
 
     def _cap_allows_wake(self, host: Host) -> bool:
         """Would waking ``host`` keep projected power under the cap?
@@ -776,8 +810,7 @@ class PowerAwareManager:
             plan = plan_evacuation(
                 host,
                 targets,
-                demand_fn=lambda vm: vm.demand_cores(now),
-                cpu_target=target,
+                    cpu_target=target,
                 trace=self._trace,
                 now=now,
             )
@@ -815,8 +848,11 @@ class PowerAwareManager:
         # Hosts already evacuating are on their way out; ``host`` itself is
         # counted via the explicit -1 (it may or may not be flagged yet).
         active_after = (
-            len(self.cluster.active_hosts())
-            - sum(1 for h in self.cluster.hosts if h.evacuating and h is not host)
+            self.cluster.n_active_hosts()
+            - (
+                self.cluster.n_evacuating_hosts()
+                - (1 if host.evacuating else 0)
+            )
             - 1
         )
         return active_after >= self.config.min_active_hosts
@@ -966,7 +1002,12 @@ class PowerAwareManager:
                     ),
                 )
                 return
-            yield self.env.timeout(backoff)
+            # Coalescable: flights that failed at the same instant share one
+            # backoff event.  Retry callbacks reserve destination memory
+            # synchronously in ``engine.migrate``, so resuming them back to
+            # back (instead of interleaved with migration-process starts)
+            # cannot change which destinations later retries see.
+            yield self.env.shared_timeout(backoff)
             if task.cancelled or vm.host is not task.host or vm.migrating:
                 return
             dst = self._retry_destination(task, vm)
@@ -1008,7 +1049,6 @@ class PowerAwareManager:
         plan = plan_evacuation(
             task.host,
             targets,
-            demand_fn=lambda v: v.demand_cores(now),
             cpu_target=self.config.cpu_target,
             trace=self._trace,
             now=now,
@@ -1073,7 +1113,6 @@ class PowerAwareManager:
         plan = plan_evacuation(
             host,
             [t for t in self.cluster.placeable_hosts() if t is not host],
-            demand_fn=lambda vm: vm.demand_cores(now),
             cpu_target=1.0,
             trace=self._trace,
             now=now,

@@ -11,6 +11,8 @@ This is the top-level API examples and benchmarks use::
 
 from __future__ import annotations
 
+import heapq
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -46,6 +48,12 @@ class ScenarioResult:
     churn: Optional[ChurnGenerator] = None
     #: Decision trace (only when the scenario ran with ``trace=True``).
     trace: Optional[TraceBuffer] = None
+    #: Wall-clock spent building the scenario (fleet generation, initial
+    #: placement, subsystem wiring) before the first event is popped.
+    setup_wall_s: float = 0.0
+    #: Wall-clock spent inside ``env.run`` — the simulation-kernel time
+    #: the F-series benchmark divides events by.
+    sim_wall_s: float = 0.0
 
 
 def _placement_failure(vm: VM, cluster: Cluster) -> str:
@@ -84,15 +92,40 @@ def spread_placement(vms: List[VM], cluster: Cluster) -> None:
 
     Largest VMs first, each onto the host with the most remaining vCPU
     budget — the steady state a load balancer would produce.
+
+    Implemented as a lazy-deletion max-heap keyed ``(-budget, position)``
+    instead of a per-VM scan over every host: ties pop the lowest
+    inventory position, which is exactly the host ``max()`` over the
+    inventory-ordered candidate scan used to return, so placements are
+    unchanged.  Budgets only ever decrease, so a popped entry whose
+    budget disagrees with the live table is stale and safely dropped.
     """
-    budgets = {h.name: h.cores for h in cluster.hosts}
+    hosts = cluster.hosts
+    budgets = [h.cores for h in hosts]
+    heap = [(-budgets[i], i) for i in range(len(hosts))]
+    heapq.heapify(heap)
     for vm in sorted(vms, key=lambda v: v.vcpus, reverse=True):
-        candidates = [h for h in cluster.hosts if h.is_active and h.fits(vm)]
-        if not candidates:
+        # Hosts that can't take this VM stay eligible for later (smaller)
+        # VMs, so stash and re-push them rather than discarding.
+        skipped = []
+        placed = False
+        while heap:
+            entry = heapq.heappop(heap)
+            neg_budget, pos = entry
+            if -neg_budget != budgets[pos]:
+                continue  # stale: superseded by a later placement
+            host = hosts[pos]
+            if host.is_active and host.fits(vm):
+                cluster.add_vm(vm, host)
+                budgets[pos] -= vm.vcpus
+                heapq.heappush(heap, (-budgets[pos], pos))
+                placed = True
+                break
+            skipped.append(entry)
+        for entry in skipped:
+            heapq.heappush(heap, entry)
+        if not placed:
             raise RuntimeError(_placement_failure(vm, cluster))
-        host = max(candidates, key=lambda h: budgets[h.name])
-        cluster.add_vm(vm, host)
-        budgets[host.name] -= vm.vcpus
 
 
 def run_scenario(
@@ -142,6 +175,7 @@ def run_scenario(
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
+    t_setup0 = time.perf_counter()  # reprolint: disable=RL002
     env = Environment()
     buf: Optional[TraceBuffer] = None
     if trace:
@@ -183,7 +217,14 @@ def run_scenario(
     manager = PowerAwareManager(
         env, cluster, engine, config, trace=buf, telemetry=feed
     )
-    sampler = ClusterSampler(env, cluster, epoch_s=epoch_s, feed=feed)
+    sampler = ClusterSampler(
+        env,
+        cluster,
+        epoch_s=epoch_s,
+        feed=feed,
+        headroom_ceiling=config.balance.dst_ceiling,
+    )
+    manager.tick_aggregates = sampler
     sampler.start()
     manager.start()
 
@@ -200,7 +241,9 @@ def run_scenario(
         )
         churn.start()
 
+    t_run0 = time.perf_counter()  # reprolint: disable=RL002
     env.run(until=horizon_s)
+    t_run1 = time.perf_counter()  # reprolint: disable=RL002
 
     if buf is not None:
         for h in cluster.hosts:
@@ -267,4 +310,6 @@ def run_scenario(
         env=env,
         churn=churn,
         trace=buf,
+        setup_wall_s=t_run0 - t_setup0,
+        sim_wall_s=t_run1 - t_run0,
     )

@@ -1,8 +1,19 @@
-"""Cluster: host inventory and aggregate accounting."""
+"""Cluster: host inventory and aggregate accounting.
+
+Host *views* (active, placeable, parked, …) are served from an
+incremental index: each category keeps a position-sorted list of host
+indices, re-filed by a callback the hosts fire at every membership
+mutation (power-transition start/end, out-of-service, maintenance,
+evacuating).  Views therefore cost O(category size) instead of an
+O(hosts) predicate scan, while preserving exactly the inventory
+iteration order — and hence the float accumulation order — of the
+scans they replace.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+from bisect import bisect_left, insort
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 if TYPE_CHECKING:
     from repro.sim.environment import Environment
@@ -14,6 +25,16 @@ from repro.datacenter.vm import VM
 from repro.power.dvfs import DvfsModel
 from repro.power.profiles import ServerPowerProfile
 from repro.power.states import PowerState
+
+
+#: Membership bits for the incremental host index.
+_B_ACTIVE = 1
+_B_PLACEABLE = 2
+_B_PARKED = 4
+_B_OOS = 8
+_B_TRANSIT = 16
+_B_WAKING = 32
+_B_EVACUATING = 64
 
 
 class Cluster:
@@ -28,6 +49,113 @@ class Cluster:
         if not self.hosts:
             raise ValueError("cluster needs at least one host")
         self._vms: Dict[str, VM] = {}
+        # Registry epoch for the cluster-level demand cache: bumps on
+        # admit/retire so a cached total is never served across a
+        # membership change.
+        self._vm_epoch = 0
+        self._demand_key: Optional[Tuple[float, int]] = None
+        self._demand_value = 0.0
+        # Registry-total demand grid, installed by the sampler's chunk
+        # build (see ClusterSampler._build_grids): the precomputed
+        # registry-order totals at upcoming tick instants, valid while
+        # ``_demand_grid_tag`` still equals ``_vm_epoch``.
+        self._demand_grid: Optional[List[float]] = None
+        self._demand_grid_i0 = 0
+        self._demand_grid_eps = 0.0
+        self._demand_grid_tag: Optional[int] = None
+        # Static inventory aggregates (the host list never changes after
+        # construction; per-host cores/profiles are construction-time
+        # constants).  Computed with the same expressions — and the same
+        # accumulation order — as the scans they replace.
+        self._total_capacity_cores = sum(h.cores for h in self.hosts)
+        self._min_host_cores = min(h.cores for h in self.hosts)
+        self._max_peak_w = max(h.profile.peak_w for h in self.hosts)
+        self._host_cores_desc: List[float] = sorted(
+            (h.cores for h in self.hosts), reverse=True
+        )
+        # Incremental host index: per-category position-sorted lists plus
+        # the current membership bitmask per host position.
+        self._active: List[int] = []
+        self._placeable: List[int] = []
+        self._parked: List[int] = []
+        self._oos: List[int] = []
+        self._transitioning: List[int] = []
+        self._waking: List[int] = []
+        self._evacuating: List[int] = []
+        self._index_lists: Tuple[Tuple[int, List[int]], ...] = (
+            (_B_ACTIVE, self._active),
+            (_B_PLACEABLE, self._placeable),
+            (_B_PARKED, self._parked),
+            (_B_OOS, self._oos),
+            (_B_TRANSIT, self._transitioning),
+            (_B_WAKING, self._waking),
+            (_B_EVACUATING, self._evacuating),
+        )
+        self._pos: Dict[str, int] = {h.name: i for i, h in enumerate(self.hosts)}
+        self._membership: List[int] = [0] * len(self.hosts)
+        # Bumped on every index mutation; memoizes the capacity sums below
+        # (recomputed with the identical scan when the index has changed,
+        # so cached values are bit-for-bit what the scan would return).
+        self._index_rev = 0
+        self._active_capacity_rev = -1
+        self._active_capacity = 0.0
+        self._committed_capacity_rev = -1
+        self._committed_capacity = 0.0
+        # Each host's energy meter is created once and never replaced;
+        # prebinding skips two attribute hops per host per power sample.
+        self._meters = [h.machine.meter for h in self.hosts]
+        for host in self.hosts:
+            host._index_cb = self._reindex_host
+            self._reindex_host(host)
+
+    # ------------------------------------------------------------------
+    # Host index maintenance
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _host_mask(host: Host) -> int:
+        """Membership bitmask; predicates mirror the category views."""
+        machine = host.machine
+        in_transition = machine.in_transition
+        mask = 0
+        if host.is_active:
+            mask |= _B_ACTIVE
+            if not host.evacuating and not host.in_maintenance:
+                mask |= _B_PLACEABLE
+        if (
+            not in_transition
+            and host.state.is_parked
+            and not host.out_of_service
+            and not host.in_maintenance
+        ):
+            mask |= _B_PARKED
+        if host.out_of_service:
+            mask |= _B_OOS
+        if in_transition:
+            mask |= _B_TRANSIT
+            if machine.target_state is PowerState.ACTIVE:
+                mask |= _B_WAKING
+        if host.evacuating:
+            mask |= _B_EVACUATING
+        return mask
+
+    def _reindex_host(self, host: Host) -> None:
+        """Re-file one host after a membership mutation (index callback)."""
+        pos = self._pos[host.name]
+        mask = self._host_mask(host)
+        old = self._membership[pos]
+        if mask == old:
+            return
+        changed = mask ^ old
+        for bit, positions in self._index_lists:
+            if not changed & bit:
+                continue
+            if mask & bit:
+                insort(positions, pos)
+            else:
+                del positions[bisect_left(positions, pos)]
+        self._membership[pos] = mask
+        self._index_rev += 1
 
     @classmethod
     def homogeneous(
@@ -124,11 +252,13 @@ class Cluster:
             raise ValueError("host {} is not in this cluster".format(host.name))
         host.place(vm)
         self._vms[vm.name] = vm
+        self._vm_epoch += 1
 
     def remove_vm(self, vm: VM) -> None:
         """Retire ``vm`` (departure); it is unbound from its host."""
         if self._vms.pop(vm.name, None) is None:
             raise KeyError("VM {} not in cluster".format(vm.name))
+        self._vm_epoch += 1
         if vm.host is not None:
             vm.host.remove(vm)
 
@@ -144,61 +274,131 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def active_hosts(self) -> List[Host]:
-        return [h for h in self.hosts if h.is_active]
+        hosts = self.hosts
+        return [hosts[i] for i in self._active]
 
     def placeable_hosts(self) -> List[Host]:
-        return [h for h in self.hosts if h.available_for_placement]
+        hosts = self.hosts
+        return [hosts[i] for i in self._placeable]
 
     def parked_hosts(self) -> List[Host]:
         """Parked hosts the manager may wake.
 
         Excludes failed hardware and hosts held for maintenance.
         """
-        return [
-            h
-            for h in self.hosts
-            if not h.machine.in_transition
-            and h.state.is_parked
-            and not h.out_of_service
-            and not h.in_maintenance
-        ]
+        hosts = self.hosts
+        return [hosts[i] for i in self._parked]
 
     def out_of_service_hosts(self) -> List[Host]:
-        return [h for h in self.hosts if h.out_of_service]
+        hosts = self.hosts
+        return [hosts[i] for i in self._oos]
 
     def transitioning_hosts(self) -> List[Host]:
-        return [h for h in self.hosts if h.machine.in_transition]
+        hosts = self.hosts
+        return [hosts[i] for i in self._transitioning]
 
     def waking_hosts(self) -> List[Host]:
-        return [
-            h
-            for h in self.hosts
-            if h.machine.in_transition
-            and h.machine.target_state is PowerState.ACTIVE
-        ]
+        hosts = self.hosts
+        return [hosts[i] for i in self._waking]
+
+    def evacuating_hosts(self) -> List[Host]:
+        """Hosts the manager is draining ahead of a park."""
+        hosts = self.hosts
+        return [hosts[i] for i in self._evacuating]
+
+    # O(1) category counts, for telemetry that only needs sizes.
+
+    def n_active_hosts(self) -> int:
+        return len(self._active)
+
+    def n_parked_hosts(self) -> int:
+        return len(self._parked)
+
+    def n_transitioning_hosts(self) -> int:
+        return len(self._transitioning)
+
+    def n_evacuating_hosts(self) -> int:
+        return len(self._evacuating)
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
 
     def active_capacity_cores(self) -> float:
-        return sum(h.cores for h in self.active_hosts())
+        if self._active_capacity_rev != self._index_rev:
+            hosts = self.hosts
+            self._active_capacity = sum(hosts[i].cores for i in self._active)
+            self._active_capacity_rev = self._index_rev
+        return self._active_capacity
 
     def committed_capacity_cores(self) -> float:
         """Active capacity plus capacity already on its way up (waking)."""
-        return self.active_capacity_cores() + sum(
-            h.cores for h in self.waking_hosts()
-        )
+        if self._committed_capacity_rev != self._index_rev:
+            hosts = self.hosts
+            self._committed_capacity = self.active_capacity_cores() + sum(
+                hosts[i].cores for i in self._waking
+            )
+            self._committed_capacity_rev = self._index_rev
+        return self._committed_capacity
+
+    def evacuating_cores(self) -> float:
+        """Cores on hosts being drained (imminently lost capacity)."""
+        hosts = self.hosts
+        return sum(hosts[i].cores for i in self._evacuating)
 
     def total_capacity_cores(self) -> float:
-        return sum(h.cores for h in self.hosts)
+        return self._total_capacity_cores
+
+    def min_host_cores(self) -> float:
+        """Smallest host size in the (immutable) inventory."""
+        return self._min_host_cores
+
+    def max_peak_w(self) -> float:
+        """Largest per-host peak draw in the inventory."""
+        return self._max_peak_w
+
+    def host_cores_desc(self) -> List[float]:
+        """Host core sizes, largest first (callers must not mutate)."""
+        return self._host_cores_desc
 
     def demand_cores(self, t: Optional[float] = None) -> float:
         when = self.env.now if t is None else t
-        return sum(vm.demand_cores(when) for vm in self._vms.values())
+        key = (when, self._vm_epoch)
+        if key == self._demand_key:
+            return self._demand_value
+        grid = self._demand_grid
+        if grid is not None and self._demand_grid_tag == self._vm_epoch:
+            # Batched fast path: the registry is unchanged since the
+            # sampler precomputed the totals, so a lattice instant reads
+            # the grid — the identical registry-order accumulation.
+            eps = self._demand_grid_eps
+            i = int(when / eps + 0.5)
+            j = i - self._demand_grid_i0
+            if 0 <= j < len(grid) and i * eps == when:
+                value = grid[j]
+                self._demand_key = key
+                self._demand_value = value
+                return value
+        # Inline the per-VM memo fast path (see ``VM.demand_cores``): at
+        # manager instants that coincide with a sampler tick every VM is a
+        # memo hit, and skipping the method call halves the walk's cost.
+        # ``sum`` over the same registry order, starting from zero, so the
+        # accumulation is bit-identical to the genexpr it replaces.
+        value = 0.0
+        for vm in self._vms.values():
+            value += (
+                vm._demand_value
+                if when == vm._demand_at_t
+                else vm.demand_cores(when)
+            )
+        self._demand_key = key
+        self._demand_value = value
+        return value
 
     def power_w(self) -> float:
-        return sum(h.power_w() for h in self.hosts)
+        # ``_power_w`` is what the ``power_w`` property returns; reading
+        # the slot directly skips 1 property dispatch per host per tick.
+        return sum(m._power_w for m in self._meters)
 
     def energy_j(self) -> float:
         return sum(h.energy_j() for h in self.hosts)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Generator, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Set, Tuple
 
 if TYPE_CHECKING:
     import numpy as np
@@ -65,6 +65,12 @@ class Host:
             raise ValueError("cores and mem_gb must be positive")
         if mem_overcommit < 1.0:
             raise ValueError("mem_overcommit must be >= 1.0")
+        #: Installed by :class:`~repro.datacenter.cluster.Cluster`; fired on
+        #: every change to a membership-relevant bit (power state,
+        #: out-of-service, maintenance, evacuating) so the cluster's host
+        #: index stays current without rescanning the inventory.  Created
+        #: first: the flag-backed properties below notify through it.
+        self._index_cb: Optional[Callable[["Host"], None]] = None
         self.env = env
         self.name = name
         self.cores = float(cores)
@@ -92,14 +98,38 @@ class Host:
         )
         if not 0.0 < dvfs_target <= 1.0:
             raise ValueError("dvfs_target must be in (0, 1]")
+        self.machine.on_change = self._membership_changed
         self.vms: Dict[str, VM] = {}
         # Incremental capacity accounting, maintained by place()/remove()
         # so the mem_used_gb / vcpus_committed properties are O(1) instead
         # of an O(VMs) sum on every placement probe.
         self._mem_used_gb = 0.0
         self._vcpus_committed = 0.0
+        # Demand cache: (t, epoch) -> total demand.  The epoch bumps on any
+        # change to what demand_cores(t) sums over (VM set, migration tax),
+        # so repeated same-instant planning reads hit the cache.
+        self._demand_epoch = 0
+        self._demand_key: Optional[Tuple[float, int]] = None
+        self._demand_value = 0.0
+        self._resident_value = 0.0
+        # Per-host batched grids (see ClusterSampler._build_grids): the
+        # resident demand sum, clamped utilization, and interpolated
+        # active wattage at upcoming sampler ticks.  Valid only while
+        # ``_grid_tag`` still equals ``_demand_epoch`` — any placement or
+        # migration-tax change invalidates them until the next chunk.
+        self._grid_resident: Optional[list] = None
+        self._grid_util: Optional[list] = None
+        self._grid_power: Optional[list] = None
+        self._grid_chunk = -1
+        self._grid_tag = -1
+        self._grid_i0 = 0
+        self._grid_eps = 0.0
+        # Live multiset of resident anti-affinity groups, maintained by
+        # place()/remove() so group membership probes are O(1) instead of
+        # an O(VMs) scan per candidate host.
+        self._aa_groups: Dict[str, int] = {}
         #: Extra cores consumed by in-flight migrations (source+dest tax).
-        self.migration_tax_cores = 0.0
+        self._migration_tax_cores = 0.0
         #: Memory held for inbound migrations, counted against mem_free_gb.
         self.mem_reserved_gb = 0.0
         #: Anti-affinity groups of inbound (in-flight) migrations.
@@ -111,14 +141,13 @@ class Host:
         self.frequency = 1.0
         #: Count of wake attempts that failed (transient or permanent).
         self.wake_failures = 0
-        #: Set when a permanent failure takes the host out of management.
-        self.out_of_service = False
-        #: Set while an operator holds the host for service; the manager
-        #: will not place onto it or wake it until maintenance ends.
-        self.in_maintenance = False
-        #: Set by the manager while the host is earmarked for parking, so
-        #: the placement layer stops assigning new VMs to it.
-        self.evacuating = False
+        # Membership flags (see the properties below): set when a permanent
+        # failure takes the host out of management; while an operator holds
+        # the host for service; and while the manager has it earmarked for
+        # parking so placement stops assigning new VMs to it.
+        self._out_of_service = False
+        self._in_maintenance = False
+        self._evacuating = False
         if trace is not None:
             trace.host_init(
                 env.now, name, initial_state.value, self.cores, self.mem_gb
@@ -138,11 +167,65 @@ class Host:
 
     @property
     def is_active(self) -> bool:
-        return self.machine.is_active
+        # Flattened machine.is_active (placement probes hit this on every
+        # candidate host): ACTIVE state with no transition in flight.
+        machine = self.machine
+        return machine._state is PowerState.ACTIVE and machine._transition is None
 
     @property
     def available_for_placement(self) -> bool:
-        return self.is_active and not self.evacuating and not self.in_maintenance
+        machine = self.machine
+        return (
+            machine._state is PowerState.ACTIVE
+            and machine._transition is None
+            and not self._evacuating
+            and not self._in_maintenance
+        )
+
+    def _membership_changed(self) -> None:
+        """Tell the owning cluster's host index to re-file this host."""
+        if self._index_cb is not None:
+            self._index_cb(self)
+
+    @property
+    def out_of_service(self) -> bool:
+        """True when a permanent failure took the host out of management."""
+        return self._out_of_service
+
+    @out_of_service.setter
+    def out_of_service(self, value: bool) -> None:
+        self._out_of_service = value
+        self._membership_changed()
+
+    @property
+    def in_maintenance(self) -> bool:
+        """True while an operator holds the host for service."""
+        return self._in_maintenance
+
+    @in_maintenance.setter
+    def in_maintenance(self, value: bool) -> None:
+        self._in_maintenance = value
+        self._membership_changed()
+
+    @property
+    def evacuating(self) -> bool:
+        """True while the manager has this host earmarked for parking."""
+        return self._evacuating
+
+    @evacuating.setter
+    def evacuating(self, value: bool) -> None:
+        self._evacuating = value
+        self._membership_changed()
+
+    @property
+    def migration_tax_cores(self) -> float:
+        """Extra cores consumed by in-flight migrations (src+dst tax)."""
+        return self._migration_tax_cores
+
+    @migration_tax_cores.setter
+    def migration_tax_cores(self, value: float) -> None:
+        self._migration_tax_cores = value
+        self._demand_epoch += 1
 
     @property
     def mem_used_gb(self) -> float:
@@ -177,9 +260,7 @@ class Host:
 
     def hosts_group(self, group: str) -> bool:
         """True if any resident VM belongs to ``group``."""
-        return any(
-            resident.anti_affinity_group == group for resident in self.vms.values()
-        )
+        return group in self._aa_groups
 
     # ------------------------------------------------------------------
     # Placement
@@ -215,6 +296,10 @@ class Host:
         self.vms[vm.name] = vm
         self._mem_used_gb += vm.mem_gb
         self._vcpus_committed += vm.vcpus
+        if vm.anti_affinity_group is not None:
+            group = vm.anti_affinity_group
+            self._aa_groups[group] = self._aa_groups.get(group, 0) + 1
+        self._demand_epoch += 1
         vm.host = self
 
     def remove(self, vm: VM) -> None:
@@ -229,6 +314,13 @@ class Host:
             # across long place/remove (migration) sequences.
             self._mem_used_gb = 0.0
             self._vcpus_committed = 0.0
+        if vm.anti_affinity_group is not None:
+            count = self._aa_groups[vm.anti_affinity_group] - 1
+            if count:
+                self._aa_groups[vm.anti_affinity_group] = count
+            else:
+                del self._aa_groups[vm.anti_affinity_group]
+        self._demand_epoch += 1
         vm.host = None
 
     # ------------------------------------------------------------------
@@ -236,11 +328,52 @@ class Host:
     # ------------------------------------------------------------------
 
     def demand_cores(self, t: float) -> float:
-        """Total CPU demand at ``t``: VM demand plus migration tax."""
-        return (
-            sum(vm.demand_cores(t) for vm in self.vms.values())
-            + self.migration_tax_cores
-        )
+        """Total CPU demand at ``t``: VM demand plus migration tax.
+
+        Memoized per ``(t, epoch)`` — the sampler and the manager's
+        planning passes all read the same instant, so only the first call
+        per tick walks the VM dict (summation order is unchanged, keeping
+        the result bit-identical to the uncached expression).  The
+        resident sum (without the tax) is cached alongside for
+        :meth:`resident_demand_cores`.
+        """
+        key = (t, self._demand_epoch)
+        if key == self._demand_key:
+            return self._demand_value
+        rg = self._grid_resident
+        if rg is not None and self._grid_tag == self._demand_epoch:
+            # Batched fast path: no placement/tax change since the
+            # sampler built this host's resident-sum grid, so instants
+            # on the tick lattice read the precomputed value (identical
+            # floats — the grid is the same accumulation, per element).
+            eps = self._grid_eps
+            i = int(t / eps + 0.5)
+            j = i - self._grid_i0
+            if 0 <= j < len(rg) and i * eps == t:
+                resident = rg[j]
+                self._demand_key = key
+                self._resident_value = resident
+                self._demand_value = resident + self._migration_tax_cores
+                return self._demand_value
+        resident = 0.0
+        for vm in self.vms.values():
+            resident += vm.demand_cores(t)
+        self._demand_key = key
+        self._resident_value = resident
+        self._demand_value = resident + self._migration_tax_cores
+        return self._demand_value
+
+    def resident_demand_cores(self, t: float) -> float:
+        """Resident VM demand at ``t``, *without* the migration tax.
+
+        Bit-identical to ``sum(vm.demand_cores(t) for vm in
+        host.vms.values())`` — the expression the evacuation planner and
+        load balancer previously evaluated per candidate host — but
+        served from the same per-instant cache as :meth:`demand_cores`.
+        """
+        if (t, self._demand_epoch) != self._demand_key:
+            self.demand_cores(t)
+        return self._resident_value
 
     def shortfall_by_class(self, t: float) -> Dict[Priority, float]:
         """Undelivered cores per service class at ``t``.
@@ -249,6 +382,9 @@ class Host:
         (infrastructure work cannot be deprioritized), then GOLD, SILVER,
         BRONZE in order until capacity runs out.  A parked host with VMs
         delivers nothing.
+
+        NOTE: :meth:`ClusterSampler.sample_once` inlines this arithmetic
+        in its fused per-host walk; keep the two in lockstep.
         """
         demand_per_class: Dict[Priority, float] = {p: 0.0 for p in Priority}
         for vm in self.vms.values():
@@ -256,10 +392,10 @@ class Host:
         shortfall: Dict[Priority, float] = {p: 0.0 for p in Priority}
         if not self.is_active and self.vms:
             return demand_per_class
-        capacity_left = max(0.0, self.cores - self.migration_tax_cores)
+        capacity_left = max(0.0, self.cores - self._migration_tax_cores)
         if self.is_active and self.dvfs is not None:
             capacity_left = max(
-                0.0, self.cores * self.frequency - self.migration_tax_cores
+                0.0, self.cores * self.frequency - self._migration_tax_cores
             )
         for priority in sorted(Priority):
             demand = demand_per_class[priority]
@@ -280,6 +416,9 @@ class Host:
         under ``dvfs_target`` of the scaled capacity.  Demand beyond the
         scaled capacity is a shortfall — but the governor never selects a
         frequency that creates one if nominal frequency avoids it.
+
+        NOTE: :meth:`ClusterSampler.sample_once` inlines this refresh in
+        its fused per-host walk; keep the two in lockstep.
         """
         demand = self.demand_cores(t)
         if self.machine.is_active and self.dvfs is not None:

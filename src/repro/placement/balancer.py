@@ -63,15 +63,27 @@ class LoadBalancer:
     def recommend(
         self,
         hosts: Sequence[Host],
-        demand_fn: DemandFn,
-        now: float,
+        demand_fn: Optional[DemandFn] = None,
+        now: float = 0.0,
     ) -> List[Move]:
-        """Return up to ``max_moves_per_round`` de-overload/balance moves."""
+        """Return up to ``max_moves_per_round`` de-overload/balance moves.
+
+        ``demand_fn=None`` selects the canonical demand at ``now``, with
+        per-host loads served from the resident-demand cache — the same
+        values as the explicit per-VM sums, without the walk.
+        """
         cfg = self.config
         # Planning view: utilization per host, mutated as moves are chosen.
-        load = {
-            h.name: sum(demand_fn(vm) for vm in h.vms.values()) for h in hosts
-        }
+        if demand_fn is None:
+            def demand_fn(vm: "VM", _t: float = now) -> float:
+                return vm.demand_cores(_t)
+
+            load = {h.name: h.resident_demand_cores(now) for h in hosts}
+        else:
+            load = {
+                h.name: sum(demand_fn(vm) for vm in h.vms.values())
+                for h in hosts
+            }
         moves: List[Move] = []
         for _ in range(cfg.max_moves_per_round):
             move = self._best_single_move(hosts, load, demand_fn)
@@ -93,15 +105,18 @@ class LoadBalancer:
         demand_fn: DemandFn,
     ) -> Optional[Move]:
         cfg = self.config
-        sources = sorted(
-            (h for h in hosts if h.is_active and h.vms),
-            key=lambda h: self._utilization(h, load),
-            reverse=True,
-        )
-        if not sources:
+        # Single max pass instead of a full descending sort: strict ``>``
+        # keeps the first host among equal utilizations — the same host a
+        # stable reverse sort put at index 0.
+        src: Optional[Host] = None
+        src_util = 0.0
+        for h in hosts:
+            if h.is_active and h.vms:
+                u = self._utilization(h, load)
+                if src is None or u > src_util:
+                    src, src_util = h, u
+        if src is None:
             return None
-        src = sources[0]
-        src_util = self._utilization(src, load)
         if src_util < cfg.high_watermark:
             return None
         destinations = sorted(

@@ -16,7 +16,7 @@ DemandFn = Callable[[VM], float]
 def plan_evacuation(
     host: Host,
     targets: Sequence[Host],
-    demand_fn: DemandFn,
+    demand_fn: Optional[DemandFn] = None,
     cpu_target: float = 0.85,
     trace: Optional["TraceBuffer"] = None,
     now: float = 0.0,
@@ -36,20 +36,28 @@ def plan_evacuation(
     if not 0.0 < cpu_target <= 1.0:
         raise ValueError("cpu_target must be in (0, 1]")
 
+    # ``demand_fn=None`` selects the canonical demand — demand at ``now``
+    # served from the per-host resident cache, which is bit-identical to
+    # the explicit per-VM sum it replaces but O(1) per candidate host.
+    canonical = demand_fn is None
+    if demand_fn is None:
+        def demand_fn(vm: VM, _t: float = now) -> float:
+            return vm.demand_cores(_t)
+
     cpu_budget: Dict[str, float] = {}
     mem_budget: Dict[str, float] = {}
     groups: Dict[str, set] = {}
     usable = [t for t in targets if t.available_for_placement]
     for t in usable:
-        cpu_budget[t.name] = t.cores * cpu_target - sum(
-            demand_fn(vm) for vm in t.vms.values()
+        cpu_budget[t.name] = t.cores * cpu_target - (
+            t.resident_demand_cores(now)
+            if canonical
+            else sum(demand_fn(vm) for vm in t.vms.values())
         )
         mem_budget[t.name] = t.mem_free_gb
-        groups[t.name] = {
-            vm.anti_affinity_group
-            for vm in t.vms.values()
-            if vm.anti_affinity_group is not None
-        } | set(t.groups_reserved)
+        # Same set as scanning every resident VM for its group, served
+        # from the host's live group multiset in O(groups) instead.
+        groups[t.name] = set(t._aa_groups) | t.groups_reserved
 
     movable = [vm for vm in host.vms.values() if not vm.migrating]
     if len(movable) != len(host.vms):

@@ -51,10 +51,20 @@ class HostPowerStateMachine:
         self._state = initial_state
         self._utilization = 0.0
         self._dynamic_scale = 1.0
+        #: Optional callback fired after every membership-relevant change
+        #: (transition start, completion, or failure).  The owning
+        #: :class:`~repro.datacenter.host.Host` wires this into the
+        #: cluster's host index so views never rescan the inventory.
+        self.on_change: Optional[Callable[[], None]] = None
         #: Optional RNG for per-transition latency jitter (see
         #: :meth:`repro.power.TransitionSpec.sample_latency_s`).
         self.latency_rng = latency_rng
         self._transition: Optional[Tuple[PowerState, PowerState]] = None
+        # Hot-path bindings: ``_active_power`` runs once per utilization
+        # step on every active host, and the profile is immutable, so the
+        # idle draw and the calibration-curve lookup are hoisted here.
+        self._idle_w = profile.idle_w
+        self._power_at = profile.active_model.power_at
         self.meter = EnergyMeter(
             now=env.now,
             power_w=profile.stable_power(initial_state, 0.0),
@@ -123,6 +133,10 @@ class HostPowerStateMachine:
 
         ``dynamic_scale`` multiplies the utilization-dependent share of
         active power (draw above idle) — the hook the DVFS governor uses.
+
+        NOTE: ``ClusterSampler.sample_once`` inlines this method (and
+        ``_active_power``) for the stably-ACTIVE case on its per-tick hot
+        path — keep the two in lockstep when changing the arithmetic.
         """
         if not 0.0 <= utilization <= 1.0 + 1e-9:
             raise ValueError("utilization must be in [0, 1]")
@@ -134,8 +148,8 @@ class HostPowerStateMachine:
             self.meter.set_power(self.env.now, self._active_power())
 
     def _active_power(self) -> float:
-        idle = self.profile.idle_w
-        dynamic = self.profile.active_model.power_at(self._utilization) - idle
+        idle = self._idle_w
+        dynamic = self._power_at(self._utilization) - idle
         return idle + dynamic * self._dynamic_scale
 
     def transition_to(self, dst: PowerState, fail: bool = False) -> Generator:
@@ -172,6 +186,8 @@ class HostPowerStateMachine:
                 self.env.now, self.name, src.value, dst.value, latency_s,
                 spec.power_w,
             )
+        if self.on_change is not None:
+            self.on_change()
         yield self.env.timeout(latency_s)
         self._mark()
         self._transition = None
@@ -186,6 +202,8 @@ class HostPowerStateMachine:
                     self.env.now, self.name, src.value, dst.value, src.value,
                     failed=True,
                 )
+            if self.on_change is not None:
+                self.on_change()
             return src
         self._state = dst
         self.transition_counts[(src, dst)] += 1
@@ -198,6 +216,8 @@ class HostPowerStateMachine:
                 self.env.now, self.name, src.value, dst.value, dst.value,
                 failed=False,
             )
+        if self.on_change is not None:
+            self.on_change()
         return dst
 
     # ------------------------------------------------------------------

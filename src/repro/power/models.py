@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 
 class PowerModel:
     """Interface: map utilization in [0, 1] to active-state watts."""
@@ -47,6 +49,16 @@ class PowerModel:
             deviation += abs(self.power_at(u) - u * peak) / peak
         return 1.0 - deviation / samples
 
+    def power_at_grid(self, utilizations: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`power_at` over a float64 utilization array.
+
+        The base implementation just loops; subclasses override it with a
+        batched computation whose per-element operation sequence matches
+        the scalar method exactly, so every returned watt is bit-identical
+        to ``power_at`` on the same input.
+        """
+        return np.array([self.power_at(float(u)) for u in utilizations])
+
     @staticmethod
     def _check_utilization(utilization: float) -> float:
         if not 0.0 <= utilization <= 1.0 + 1e-9:
@@ -69,6 +81,12 @@ class LinearPowerModel(PowerModel):
 
     def power_at(self, utilization: float) -> float:
         u = self._check_utilization(utilization)
+        return self._idle_w + (self._peak_w - self._idle_w) * u
+
+    def power_at_grid(self, utilizations: "np.ndarray") -> "np.ndarray":
+        # Elementwise float64 mul/add round exactly like the scalar
+        # expression, so this is bit-identical to power_at per element.
+        u = np.asarray(utilizations, dtype=float)
         return self._idle_w + (self._peak_w - self._idle_w) * u
 
     def __repr__(self) -> str:
@@ -106,6 +124,30 @@ class PiecewisePowerModel(PowerModel):
         span = self._us[hi] - self._us[lo]
         frac = (u - self._us[lo]) / span
         return self._ws[lo] + (self._ws[hi] - self._ws[lo]) * frac
+
+    def power_at_grid(self, utilizations: "np.ndarray") -> "np.ndarray":
+        """Batched interpolation, bit-identical to :meth:`power_at`.
+
+        ``utilizations`` must already be clamped to [0, 1] (the callers
+        pass ``min(demand / cores, 1.0)`` grids).  Each element follows
+        the exact scalar branch structure: ``searchsorted`` is
+        ``bisect_left``, and the interpolation arithmetic runs the same
+        float64 operation sequence elementwise, so every watt matches the
+        scalar method to the last bit.
+        """
+        us = np.asarray(self._us)
+        ws = np.asarray(self._ws)
+        u = np.asarray(utilizations, dtype=float)
+        hi = np.searchsorted(us, u, side="left")
+        lo = np.maximum(hi - 1, 0)
+        hi_c = np.minimum(hi, len(us) - 1)
+        us_lo = us[lo]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (u - us_lo) / (us[hi_c] - us_lo)
+            interp = ws[lo] + (ws[hi_c] - ws[lo]) * frac
+        out = np.where(us_lo == u, ws[lo], interp)
+        out[hi == 0] = ws[0]
+        return out
 
     def __repr__(self) -> str:
         return "PiecewisePowerModel({} points, idle={}W, peak={}W)".format(

@@ -26,6 +26,7 @@ from repro.sim.events import (
     Event,
     EventAlreadyTriggered,
     Interrupt,
+    SharedTimeout,
     Timeout,
 )
 from repro.sim.process import Process, ProcessCrashed
@@ -46,6 +47,7 @@ __all__ = [
     "ProcessCrashed",
     "Request",
     "Resource",
+    "SharedTimeout",
     "StopSimulation",
     "Store",
     "Timeout",

@@ -150,6 +150,40 @@ class Timeout(Event):
         return "<Timeout delay={} at {:#x}>".format(self._delay, id(self))
 
 
+class SharedTimeout(Event):
+    """A coalescable timeout: one heap entry shared by every waiter.
+
+    Obtained via :meth:`Environment.shared_timeout`.  All processes whose
+    delays land on the same simulated instant share a single scheduled
+    event, so N periodic loops ticking together cost one heap push/pop
+    instead of N.  Waiters resume in the order they asked for the instant —
+    exactly the order N separate timeouts would have popped in, since both
+    follow creation order at equal (time, priority).
+
+    Shared timeouts carry no value (every waiter receives ``None``).
+    """
+
+    def __init__(self, env: "Environment", delay: float) -> None:  # noqa: F821
+        if delay < 0:
+            raise ValueError("negative delay {!r}".format(delay))
+        super().__init__(env)
+        self._delay = delay
+        self._ok = True
+        self._value = None
+        env.schedule(self, delay=delay)
+
+    @property
+    def delay(self) -> float:
+        return self._delay
+
+    def __repr__(self) -> str:
+        return "<SharedTimeout delay={} waiters={} at {:#x}>".format(
+            self._delay,
+            len(self.callbacks) if self.callbacks is not None else 0,
+            id(self),
+        )
+
+
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
 

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.vm import Priority
+from repro.power.states import PowerState
 from repro.telemetry.timeseries import TimeSeries
 from repro.telemetry.view import ClusterView, TelemetryFeed
+from repro.workload.traces import trace_grid
 
 
 class ClusterSampler:
@@ -37,11 +41,13 @@ class ClusterSampler:
         "shortfall_bronze",
     )
 
-    _CLASS_SERIES = {
-        Priority.GOLD: "shortfall_gold",
-        Priority.SILVER: "shortfall_silver",
-        Priority.BRONZE: "shortfall_bronze",
-    }
+    #: Hoisted (priority, series-name) pairs: the per-tick loop binds both
+    #: directly instead of doing dict lookups keyed on the enum.
+    _CLASS_COLUMNS = (
+        (Priority.GOLD, "shortfall_gold"),
+        (Priority.SILVER, "shortfall_silver"),
+        (Priority.BRONZE, "shortfall_bronze"),
+    )
 
     def __init__(
         self,
@@ -49,6 +55,7 @@ class ClusterSampler:
         cluster: Cluster,
         epoch_s: float = 60.0,
         feed: Optional[TelemetryFeed] = None,
+        headroom_ceiling: Optional[float] = None,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
@@ -71,6 +78,135 @@ class ClusterSampler:
         self.class_demand_core_s: Dict[Priority, float] = {p: 0.0 for p in Priority}
         self.samples = 0
         self._process = None
+        # ------------------------------------------------------------------
+        # Batched demand grids: every ``_grid_chunk_ticks`` epochs one
+        # vectorized pass (see :func:`repro.workload.traces.trace_grid`)
+        # precomputes each VM's demand at the upcoming tick instants plus
+        # the registry-order class aggregates, so the per-tick walk reads
+        # flat lists instead of dispatching into per-VM trace objects.
+        # Values are bit-identical to the scalar path by construction;
+        # the scalar walk remains the fallback for off-grid instants,
+        # VMs admitted mid-chunk, and registries that changed since the
+        # aggregates were built.
+        # ------------------------------------------------------------------
+        self._grid_chunk_ticks = 128
+        self._grid_chunk_id = 0
+        self._grid_i0 = 0
+        self._grid_n = 0
+        self._grid_gold: List[float] = []
+        self._grid_silver: List[float] = []
+        self._grid_bronze: List[float] = []
+        self._grid_total: List[float] = []
+        self._grid_vm_epoch: Optional[int] = None
+        #: Manager's balancer destination ceiling, when wired by the
+        #: scenario runner: lets the tick walk accumulate the watchdog's
+        #: overload / free-headroom sums as it goes, so
+        #: ``react_to_shortfall`` at the same instant skips its own
+        #: full-inventory scans (see PowerAwareManager.tick_aggregates).
+        self._headroom_ceiling = headroom_ceiling
+        self._agg_now: Optional[float] = None
+        self._agg_overload = 0.0
+        self._agg_headroom = 0.0
+        # The host inventory is fixed at construction, and so are each
+        # host's machine, meter, core count, and DVFS model: prebinding
+        # them drops four attribute hops per host per tick.
+        self._host_rows = [
+            (h, h.machine, h.machine.meter, h.cores, h.dvfs)
+            for h in cluster.hosts
+        ]
+
+    def _build_grids(self, i0: int) -> None:
+        """Precompute demand grids for ticks ``[i0, i0 + chunk)``.
+
+        One vectorized pass per VM (shared sub-traces deduplicated via
+        the cache), accumulating the per-class and registry-order totals
+        elementwise in registry order — the identical IEEE-754 operation
+        sequence, per element, as the scalar registry walk.
+        """
+        epoch = self.epoch_s
+        n = self._grid_chunk_ticks
+        ticks = [j * epoch for j in range(i0, i0 + n)]
+        cache: dict = {}
+        cluster = self.cluster
+        self._grid_chunk_id += 1
+        chunk = self._grid_chunk_id
+        gold = np.zeros(n)
+        silver = np.zeros(n)
+        bronze = np.zeros(n)
+        total = np.zeros(n)
+        complete = True
+        arrs: Dict[int, np.ndarray] = {}
+        for vm in cluster.iter_vms():
+            arr = trace_grid(vm.trace, ticks, cache)
+            if arr.min() < 0.0:
+                # A negative demand must raise from the scalar path at
+                # the exact instant it is reached — leave this VM off
+                # the grid rather than erroring early here.
+                vm._demand_grid = None
+                vm._demand_grid_chunk = -1
+                complete = False
+                continue
+            g = np.minimum(arr, 1.0) * vm.vcpus
+            arrs[id(vm)] = g
+            vm._demand_grid = g.tolist()
+            vm._demand_grid_chunk = chunk
+            vm._demand_grid_i0 = i0
+            vm._demand_grid_epoch = epoch
+            total += g
+            p = vm.priority
+            if p == 0:
+                gold += g
+            elif p == 1:
+                silver += g
+            else:
+                bronze += g
+        self._grid_i0 = i0
+        self._grid_n = n
+        self._grid_gold = gold.tolist()
+        self._grid_silver = silver.tolist()
+        self._grid_bronze = bronze.tolist()
+        self._grid_total = total.tolist()
+        self._grid_vm_epoch = cluster._vm_epoch if complete else None
+        # Per-host aggregates: the resident sum (elementwise, in the
+        # host's VM dict order — the identical accumulation as the
+        # scalar walk), plus the clamped utilization and interpolated
+        # active wattage derived from it with the same per-element
+        # operation sequence as the per-tick scalar expressions.  Tagged
+        # with the host's demand epoch: any placement or migration-tax
+        # change invalidates the grids until the next chunk.
+        for host in cluster.hosts:
+            vms = host.vms
+            if not vms:
+                host._grid_chunk = -1
+                continue
+            acc = np.zeros(n)
+            ok = True
+            for vm in vms.values():
+                a = arrs.get(id(vm))
+                if a is None:
+                    ok = False
+                    break
+                acc += a
+            if not ok:
+                host._grid_chunk = -1
+                continue
+            util = np.minimum(acc / host.cores, 1.0)
+            host._grid_resident = acc.tolist()
+            host._grid_util = util.tolist()
+            host._grid_power = (
+                host.machine.profile.active_model.power_at_grid(util).tolist()
+            )
+            host._grid_chunk = chunk
+            host._grid_tag = host._demand_epoch
+            host._grid_i0 = i0
+            host._grid_eps = epoch
+        # Let ``Cluster.demand_cores`` itself serve lattice instants from
+        # the registry totals (manager reads at instants that pop before
+        # the tick — consolidation — miss the single-slot cache).
+        cluster._demand_grid = self._grid_total
+        cluster._demand_grid_i0 = i0
+        cluster._demand_grid_eps = epoch
+        cluster._demand_grid_tag = self._grid_vm_epoch
 
     def start(self) -> "Process":  # noqa: F821
         if self._process is not None:
@@ -81,54 +217,282 @@ class ClusterSampler:
     def sample_once(self) -> float:
         """Take one sample immediately; returns the epoch's shortfall cores.
 
-        The walk order matters for speed: ``refresh_utilization`` evaluates
-        every VM trace once (each VM memoizes its demand at the current
-        instant), so the per-class demand/shortfall loops below reuse those
-        values instead of re-walking every trace three more times.
+        This is the simulation's per-instant hot path, so the whole tick
+        is one fused walk over the host inventory: each host's VM demands
+        are read once (populating the per-VM memo) and its utilization
+        refresh plus per-class strict-priority shortfall arithmetic run
+        inline.  The accumulation order — hosts in inventory order, VMs in
+        per-host dict order, classes GOLD→SILVER→BRONZE, then the cluster
+        VM registry for class demand — is exactly the order of the
+        separate walks this replaces, so every series value stays
+        bit-identical.
         """
         now = self.env.now
-        shortfall = self.cluster.refresh_utilization(now)
-        class_shortfall = {p: 0.0 for p in Priority}
-        for host in self.cluster.hosts:
-            if not host.vms:
-                continue
-            for priority, cores in host.shortfall_by_class(now).items():
-                class_shortfall[priority] += cores
-        class_demand = {p: 0.0 for p in Priority}
-        for vm in self.cluster.iter_vms():
-            class_demand[vm.priority] += vm.demand_cores(now)
-        demand = sum(class_demand.values())
+        cluster = self.cluster
+        epoch = self.epoch_s
+        # Grid index for this instant: usable only when ``now`` sits
+        # exactly on the tick lattice (event times are accumulated sums,
+        # so the exactness guard keeps the grid bit-faithful).
+        i = int(now / epoch + 0.5)
+        if i * epoch == now:
+            if not (
+                self._grid_n and self._grid_i0 <= i < self._grid_i0 + self._grid_n
+            ):
+                self._build_grids(i)
+            gi = i - self._grid_i0
+        else:
+            gi = -1
+        chunk = self._grid_chunk_id
+        shortfall = 0.0
+        gold_sf = silver_sf = bronze_sf = 0.0
+        ceiling = self._headroom_ceiling
+        overload_sum = 0.0
+        headroom_sum = 0.0
+        power_total = 0.0
+
+        def class_split(vms: dict, gi: int):
+            # Per-class demand from the VM grids, accumulated in the
+            # host's VM dict order — the same order (and floats) as the
+            # fused walk's inline accumulation.  Only called on the
+            # host-grid fast path, where every member VM is guaranteed a
+            # current-chunk grid.
+            g = sv = b = 0.0
+            for vm in vms.values():
+                v = vm._demand_grid[gi]
+                p = vm.priority
+                if p == 0:
+                    g += v
+                elif p == 1:
+                    sv += v
+                else:
+                    b += v
+            return g, sv, b
+
+        for host, machine, meter, cores, dvfs in self._host_rows:
+            vms = host.vms
+            tax = host._migration_tax_cores
+            # Inline machine.is_active (a property + method chain):
+            active = (
+                machine._state is PowerState.ACTIVE
+                and machine._transition is None
+            )
+            # Host-grid fast path: valid only while the host's demand
+            # epoch still matches the chunk build (no placement or tax
+            # change since), so the precomputed aggregates are exactly
+            # what the per-VM walk would re-derive.
+            hg = (
+                gi >= 0
+                and host._grid_chunk == chunk
+                and host._grid_tag == host._demand_epoch
+            )
+            if vms:
+                if hg:
+                    vm_sum = host._grid_resident[gi]
+                    g = sv = b = 0.0
+                    classes_done = False
+                else:
+                    vm_sum = 0.0
+                    g = sv = b = 0.0
+                    classes_done = True
+                    for vm in vms.values():
+                        # No memo write on the grid branch:
+                        # ``demand_cores`` itself is grid-aware, so any
+                        # later reader at this instant resolves the same
+                        # value in O(1).
+                        if gi >= 0 and vm._demand_grid_chunk == chunk:
+                            v = vm._demand_grid[gi]
+                        else:
+                            v = vm.demand_cores(now)
+                        vm_sum += v
+                        p = vm.priority
+                        if p == 0:
+                            g += v
+                        elif p == 1:
+                            sv += v
+                        else:
+                            b += v
+                demand = vm_sum + tax
+            else:
+                g = sv = b = 0.0
+                vm_sum = 0.0
+                classes_done = True
+                demand = 0 + tax
+            # Serve the same-instant planning reads from the host cache
+            # (both the taxed total and the resident sum — lockstep with
+            # Host.demand_cores / Host.resident_demand_cores).
+            host._demand_key = (now, host._demand_epoch)
+            host._demand_value = demand
+            host._resident_value = vm_sum
+            # Inline Host.refresh_utilization(now):
+            if dvfs is not None:
+                if active:
+                    host.frequency = dvfs.level_for(
+                        demand / cores, target=host.dvfs_target
+                    )
+                else:
+                    host.frequency = dvfs.levels[0]
+                capacity = cores * host.frequency
+            else:
+                capacity = cores
+            # ``d if d > 0.0 else 0.0`` is ``max(0.0, d)`` without the
+            # call: identical result (the difference never rounds to
+            # ``-0.0``), and adding a zero term to a non-negative
+            # accumulator is the identity, so zero terms are skipped.
+            d = demand - capacity
+            sf = d if d > 0.0 else 0.0
+            if ceiling is not None and active:
+                # Watchdog pre-aggregation: the same expressions, host
+                # order, and zero-start accumulation as the manager's
+                # overload / free-headroom scans (active hosts for the
+                # former, placement-available hosts for the latter).
+                d = demand - cores
+                if d > 0.0:
+                    overload_sum += d
+                if not (host._evacuating or host._in_maintenance):
+                    d = cores * ceiling - demand
+                    if d > 0.0:
+                        headroom_sum += d
+            if active:
+                # Lockstep inline of PowerMachine.set_utilization for the
+                # stably-ACTIVE case (the validations are vacuous here:
+                # ``min(demand / cores, 1.0)`` is always in range and the
+                # DVFS power scale is positive).  ``_active_power`` is
+                # unrolled with the same operation order.  With no
+                # migration tax, ``demand == vm_sum`` bitwise (x + 0.0),
+                # so the precomputed utilization/wattage grids hold
+                # exactly the values the scalar expressions produce.
+                if hg and tax == 0.0:
+                    u = host._grid_util[gi]
+                    pa = host._grid_power[gi]
+                else:
+                    u = min(demand / cores, 1.0)
+                    pa = machine._power_at(u)
+                dscale = (
+                    dvfs.power_scale(host.frequency)
+                    if dvfs is not None
+                    else 1.0
+                )
+                machine._utilization = u
+                machine._dynamic_scale = dscale
+                idle = machine._idle_w
+                meter.set_power(now, idle + (pa - idle) * dscale)
+            else:
+                # ``set_utilization(0.0)`` on a non-active machine only
+                # writes ``_utilization``/``_dynamic_scale`` (no meter
+                # update), so it is a pure no-op once both already hold
+                # their reset values — the common case for parked hosts.
+                if machine._utilization != 0.0 or machine._dynamic_scale != 1.0:
+                    machine.set_utilization(0.0)
+                if vms:
+                    sf = demand
+            # Fleet power accumulated in the same host (== meter) order
+            # as ``Cluster.power_w``'s scan, after this host's meter
+            # write — the identical IEEE-754 sum without the extra walk.
+            power_total += meter._power_w
+            if sf > 0.0:
+                shortfall += sf
+            # Inline Host.shortfall_by_class(now) accumulation:
+            if vms:
+                if not active:
+                    if not classes_done:
+                        g, sv, b = class_split(vms, gi)
+                    gold_sf += g
+                    silver_sf += sv
+                    bronze_sf += b
+                else:
+                    if dvfs is not None:
+                        capacity_left = max(0.0, cores * host.frequency - tax)
+                    else:
+                        capacity_left = max(0.0, cores - tax)
+                    if classes_done or vm_sum > capacity_left - 1.0:
+                        # The slack guard makes skipping exact: per-class
+                        # sums differ from ``vm_sum`` and the running
+                        # ``capacity_left`` from true remainders only by
+                        # accumulated rounding (≪ 1 core), so with a full
+                        # core of headroom every ``min`` resolves to the
+                        # class demand and each contribution is exactly
+                        # ``d - d == 0.0``.  Anything closer to the edge
+                        # recomputes the split and runs the arithmetic.
+                        if not classes_done:
+                            g, sv, b = class_split(vms, gi)
+                        delivered = min(g, capacity_left)
+                        capacity_left -= delivered
+                        gold_sf += g - delivered
+                        delivered = min(sv, capacity_left)
+                        capacity_left -= delivered
+                        silver_sf += sv - delivered
+                        bronze_sf += b - min(b, capacity_left)
+        if gi >= 0 and self._grid_vm_epoch == cluster._vm_epoch:
+            # Registry unchanged since the chunk was built: the class
+            # demand totals are precomputed flat lists.
+            gold_d = self._grid_gold[gi]
+            silver_d = self._grid_silver[gi]
+            bronze_d = self._grid_bronze[gi]
+            registry_total = self._grid_total[gi]
+        else:
+            gold_d = silver_d = bronze_d = 0.0
+            registry_total = 0.0
+            for vm in cluster.iter_vms():
+                # Memo hit for every placed VM (populated by the host
+                # walk above); the inline check skips the method call.
+                v = (
+                    vm._demand_value
+                    if now == vm._demand_at_t
+                    else vm.demand_cores(now)
+                )
+                registry_total += v
+                p = vm.priority
+                if p == 0:
+                    gold_d += v
+                elif p == 1:
+                    silver_d += v
+                else:
+                    bronze_d += v
+        demand = gold_d + silver_d + bronze_d
+        # ``registry_total`` accumulates in registry order starting from
+        # zero — exactly ``Cluster.demand_cores``'s own sum — so the
+        # cluster-level cache can be pre-seeded here.  Manager reads at
+        # coincident instants (watchdog, consolidation) then skip their
+        # own registry walk entirely.
+        cluster._demand_key = (now, cluster._vm_epoch)
+        cluster._demand_value = registry_total
+        if ceiling is not None:
+            self._agg_now = now
+            self._agg_overload = overload_sum
+            self._agg_headroom = headroom_sum
+        committed = cluster.committed_capacity_cores()
+        n_active = cluster.n_active_hosts()
+        vm_count = cluster.vm_count
         s = self.series
         s["demand_cores"].append(now, demand)
-        s["active_capacity_cores"].append(now, self.cluster.active_capacity_cores())
-        s["committed_capacity_cores"].append(
-            now, self.cluster.committed_capacity_cores()
-        )
-        s["power_w"].append(now, self.cluster.power_w())
-        s["active_hosts"].append(now, len(self.cluster.active_hosts()))
-        s["parked_hosts"].append(now, len(self.cluster.parked_hosts()))
-        s["transitioning_hosts"].append(
-            now, len(self.cluster.transitioning_hosts())
-        )
+        s["active_capacity_cores"].append(now, cluster.active_capacity_cores())
+        s["committed_capacity_cores"].append(now, committed)
+        s["power_w"].append(now, power_total)
+        s["active_hosts"].append(now, n_active)
+        s["parked_hosts"].append(now, cluster.n_parked_hosts())
+        s["transitioning_hosts"].append(now, cluster.n_transitioning_hosts())
         s["shortfall_cores"].append(now, shortfall)
-        s["vm_count"].append(now, self.cluster.vm_count)
-        for priority, name in self._CLASS_SERIES.items():
-            s[name].append(now, class_shortfall[priority])
-            self.class_shortfall_core_s[priority] += (
-                class_shortfall[priority] * self.epoch_s
-            )
-            self.class_demand_core_s[priority] += class_demand[priority] * self.epoch_s
-        self.shortfall_core_s += shortfall * self.epoch_s
-        self.demand_core_s += demand * self.epoch_s
+        s["vm_count"].append(now, vm_count)
+        epoch_s = self.epoch_s
+        class_sf = (gold_sf, silver_sf, bronze_sf)
+        class_d = (gold_d, silver_d, bronze_d)
+        for (priority, name), sf_value, d_value in zip(
+            self._CLASS_COLUMNS, class_sf, class_d
+        ):
+            s[name].append(now, sf_value)
+            self.class_shortfall_core_s[priority] += sf_value * epoch_s
+            self.class_demand_core_s[priority] += d_value * epoch_s
+        self.shortfall_core_s += shortfall * epoch_s
+        self.demand_core_s += demand * epoch_s
         self.samples += 1
         if self.feed is not None:
             self.feed.publish(
                 ClusterView(
                     taken_at=now,
                     demand_cores=demand,
-                    committed_capacity_cores=self.cluster.committed_capacity_cores(),
-                    active_hosts=len(self.cluster.active_hosts()),
-                    vm_count=self.cluster.vm_count,
+                    committed_capacity_cores=committed,
+                    active_hosts=n_active,
+                    vm_count=vm_count,
                 )
             )
         return shortfall
@@ -136,7 +500,12 @@ class ClusterSampler:
     def _run(self):
         while True:
             self.sample_once()
-            yield self.env.timeout(self.epoch_s)
+            # Coalesced: the manager watchdog ticks at the same instants
+            # (both periods divide each other in the default configs), so
+            # the two loops share one heap entry.  Safe because
+            # ``sample_once`` spawns no processes a later same-instant
+            # waiter would need to observe.
+            yield self.env.shared_timeout(self.epoch_s)
 
     # ------------------------------------------------------------------
     # Derived metrics

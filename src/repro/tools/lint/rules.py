@@ -4,8 +4,10 @@ Every rule protects a property the simulation's headline numbers depend
 on — bit-determinism under a seed (RL001/RL002), dimensional sanity of
 the watt/joule/second/GB arithmetic (RL003/RL004), artifacts that
 survive the process-pool and disk-cache boundaries introduced in
-PR 1 (RL008), and the traced power-transition discipline the
-decision-trace validator replays (RL009) — plus three general
+PR 1 (RL008), the traced power-transition discipline the
+decision-trace validator replays (RL009), and the O(changed-hosts)
+decision hot paths the fleet-scale kernel relies on (RL011) — plus
+three general
 correctness rules that have bitten simulation codebases before
 (RL005/RL006/RL007).
 
@@ -731,6 +733,80 @@ class RawMigrateRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RL011 — no full-inventory host scans in the DRM decision hot paths
+# ----------------------------------------------------------------------
+
+#: Function names that constitute the manager's per-round decision hot
+#: path.  ``evaluate`` runs every consolidation round; the watchdog calls
+#: ``react_to_shortfall`` every tick.
+_HOT_PATH_FUNCS = frozenset({"evaluate", "react_to_shortfall"})
+
+
+class HotPathClusterScanRule(Rule):
+    rule_id = "RL011"
+    title = "no full-cluster host scans in DRM decision hot paths"
+    rationale = (
+        "`evaluate` and `react_to_shortfall` run every round on every "
+        "tick; iterating `cluster.hosts` there is an O(fleet) scan that "
+        "the incremental host indices exist to avoid — read "
+        "`active_hosts()`/`placeable_hosts()`/`parked_hosts()` (or the "
+        "capacity aggregates) instead, and suppress per line only for a "
+        "deliberate reconciliation pass that must see every host"
+    )
+    #: Tests drive the manager against toy clusters where a scan is fine.
+    skip_test_files = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in _HOT_PATH_FUNCS:
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_cluster_hosts(it):
+                    yield module.finding(
+                        self.rule_id,
+                        it,
+                        "full-cluster `.hosts` scan inside `{}`; use the "
+                        "incremental index views (`active_hosts()`, "
+                        "`placeable_hosts()`, ...) or suppress for an "
+                        "explicit reconciliation pass".format(
+                            getattr(func, "name", "?")
+                        ),
+                    )
+
+    @staticmethod
+    def _is_cluster_hosts(node: ast.expr) -> bool:
+        """True for ``<cluster-ish>.hosts`` — the full inventory list.
+
+        Matches ``cluster.hosts``, ``self.cluster.hosts``,
+        ``result.cluster.hosts`` — any receiver whose final component
+        mentions a cluster.
+        """
+        if not (isinstance(node, ast.Attribute) and node.attr == "hosts"):
+            return False
+        value = node.value
+        if isinstance(value, ast.Name):
+            return "cluster" in value.id.lower()
+        if isinstance(value, ast.Attribute):
+            return "cluster" in value.attr.lower()
+        return False
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -745,6 +821,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UnpicklableFieldRule,
     UntracedTransitionRule,
     RawMigrateRule,
+    HotPathClusterScanRule,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}

@@ -9,7 +9,8 @@ spiky) pre-draw a sample grid from a seeded RNG so every lookup is pure.
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from bisect import bisect_right
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +19,64 @@ DAY_S = 86_400.0
 
 def _clamp01(x: float) -> float:
     return 0.0 if x < 0.0 else 1.0 if x > 1.0 else x
+
+
+def trace_grid(
+    trace: "Trace",
+    ticks: Sequence[float],
+    cache: Optional[dict] = None,
+) -> "np.ndarray":
+    """Evaluate ``trace.at`` over many instants in one batched pass.
+
+    Returns a float64 array whose every element is **bit-identical** to
+    the scalar ``trace.at(t)`` at the same instant:
+
+    * :class:`SampledTrace` lookups are pure array gathers — the same
+      float64 values scalar indexing returns;
+    * :class:`CompositeTrace` accumulates ``w * part`` elementwise in
+      part order from a zero array, which performs the identical IEEE-754
+      multiply/add sequence per element as the scalar loop, then clamps
+      with the same ``< 0.0`` / ``> 1.0`` comparisons;
+    * anything else falls back to per-instant scalar evaluation (still
+      one batched call for the caller, exact by construction).
+
+    ``cache`` (keyed by trace identity) deduplicates shared sub-traces —
+    fleets built with a nonzero ``shared_fraction`` reference one common
+    component from many VM composites.
+    """
+    if cache is not None:
+        key = id(trace)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    if isinstance(trace, SampledTrace):
+        step = trace.step_s
+        n = trace._n_samples
+        # The gather index depends only on (step, n), not on the samples,
+        # so traces with the same grid shape — e.g. every diurnal trace in
+        # a fleet — share one index list.  Tuple keys cannot collide with
+        # the integer id() keys used for trace-result entries.
+        idx = None
+        if cache is not None:
+            idx = cache.get(("idx", step, n))
+        if idx is None:
+            idx = [int(t // step) % n for t in ticks]
+            if cache is not None:
+                cache[("idx", step, n)] = idx
+        out = trace._samples[idx]
+    elif isinstance(trace, CompositeTrace):
+        out = np.zeros(len(ticks))
+        for w, part in trace.parts:
+            out += w * trace_grid(part, ticks, cache)
+        # Elementwise _clamp01: replace with the exact constants the
+        # scalar comparisons produce, leave everything else untouched.
+        out[out < 0.0] = 0.0
+        out[out > 1.0] = 1.0
+    else:
+        out = np.array([trace.at(t) for t in ticks], dtype=float)
+    if cache is not None:
+        cache[key] = out
+    return out
 
 
 class Trace:
@@ -67,7 +126,9 @@ class StepTrace(Trace):
         self._levels = [s[1] for s in ordered]
 
     def at(self, t: float) -> float:
-        idx = np.searchsorted(self._times, t, side="right") - 1
+        # bisect on the plain Python list matches np.searchsorted
+        # side="right" exactly, without the per-call array conversion.
+        idx = bisect_right(self._times, t) - 1
         return self._levels[max(idx, 0)]
 
 
@@ -99,7 +160,9 @@ class DiurnalTrace(Trace):
     def at(self, t: float) -> float:
         angle = 2.0 * math.pi * (t - self.phase_s) / self.period_s
         base = 0.5 * (1.0 + math.cos(angle))  # 1 at the peak, 0 at the trough
-        shaped = base ** self.sharpness
+        # ``x ** 1.0 == x`` exactly (IEEE 754 pow), so the common
+        # sharpness=1.0 case skips the pow call without changing a bit.
+        shaped = base if self.sharpness == 1.0 else base ** self.sharpness
         return self.low + (self.high - self.low) * shaped
 
 
@@ -119,6 +182,11 @@ class SampledTrace(Trace):
         if arr.min() < 0.0 or arr.max() > 1.0:
             raise ValueError("samples must be within [0, 1]")
         self._samples = arr
+        # Pure-Python mirror of the grid: ``tolist()`` yields the same
+        # float64 values as ``float(arr[idx])``, and list indexing skips
+        # the per-lookup numpy-scalar boxing on the hot path.
+        self._samples_list = arr.tolist()
+        self._n_samples = len(self._samples_list)
         self.step_s = step_s
 
     @property
@@ -126,8 +194,7 @@ class SampledTrace(Trace):
         return len(self._samples) * self.step_s
 
     def at(self, t: float) -> float:
-        idx = int(t // self.step_s) % len(self._samples)
-        return float(self._samples[idx])
+        return self._samples_list[int(t // self.step_s) % self._n_samples]
 
 
 class BurstyTrace(SampledTrace):
@@ -297,7 +364,14 @@ class CompositeTrace(Trace):
         self.parts = list(parts)
 
     def at(self, t: float) -> float:
-        return _clamp01(sum(w * trace.at(t) for w, trace in self.parts))
+        # Explicit loop, not ``sum()`` over a genexpr: this runs once per
+        # VM per sampler tick, and the generator frame is measurable at
+        # fleet scale.  ``sum`` starts from int 0 and ``0 + v == 0.0 + v``
+        # exactly, so the accumulation is bit-identical.
+        total = 0.0
+        for w, trace in self.parts:
+            total += w * trace.at(t)
+        return _clamp01(total)
 
 
 class ScaledTrace(Trace):

@@ -1,0 +1,30 @@
+"""Fixture: RL011 — full-cluster host scans inside the DRM hot paths."""
+
+
+class Manager:
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def evaluate(self):
+        total = 0.0
+        for host in self.cluster.hosts:  # finding: O(fleet) scan per round
+            total += host.demand_cores(0.0)
+        return total
+
+    def react_to_shortfall(self):
+        overloaded = [
+            h
+            for h in self.cluster.hosts  # finding: watchdog runs every tick
+            if h.demand_cores(0.0) > h.cores
+        ]
+        spare = sum(h.cores for h in self.cluster.hosts)  # finding: genexpr scan
+        return overloaded, spare
+
+    def audit(self):
+        # Not a hot path: the rule only polices evaluate/react_to_shortfall.
+        return [h.name for h in self.cluster.hosts]
+
+
+def evaluate(cluster):
+    # Module-level hot-path function: same discipline applies.
+    return {h.name for h in cluster.hosts}  # finding: setcomp scan

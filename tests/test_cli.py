@@ -50,6 +50,29 @@ class TestCommands:
         assert "S3-PM" in out
         assert "kWh" in out
 
+    def test_run_profile_writes_json_artifact(self, tmp_path, capsys):
+        import json as json_mod
+
+        artifact = tmp_path / "prof.json"
+        code = main(
+            ["run", "--policy", "S3-PM", "--hosts", "4", "--vms", "8",
+             "--hours", "1", "--profile", "--profile-json", str(artifact)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json_mod.loads(artifact.read_text())
+        assert payload["wall_clock_s"] > 0
+        assert payload["total_calls"] > 0
+        top = payload["top_cumulative"]
+        assert 0 < len(top) <= 25
+        # Rows carry the fields a cross-PR diff needs, sorted by cumtime.
+        assert all(
+            {"function", "ncalls", "tottime_s", "cumtime_s"} <= set(row)
+            for row in top
+        )
+        cums = [row["cumtime_s"] for row in top]
+        assert cums == sorted(cums, reverse=True)
+
     def test_run_with_timeline(self, capsys):
         main(
             ["run", "--hosts", "4", "--vms", "8", "--hours", "1", "--timeline"]

@@ -1,0 +1,194 @@
+"""Property tests: the incremental host index matches a from-scratch scan.
+
+The cluster keeps position-sorted per-category index lists, re-filed by
+mutation callbacks (power transitions, flag changes, placement).  These
+tests drive randomized admit/retire/park/wake/fault/maintenance
+sequences — advancing simulated time so checks land mid-transition too —
+and after every operation compare each indexed view against the
+predicate scan it replaced.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datacenter import VM, Cluster
+from repro.power.states import IllegalTransition, PowerState
+from repro.prototype import PROTOTYPE_BLADE
+from repro.sim import Environment
+from repro.workload import FlatTrace
+
+
+def scan_views(cluster):
+    """Recompute every category with the original full-inventory scans."""
+    hosts = cluster.hosts
+    return {
+        "active": [h for h in hosts if h.is_active],
+        "placeable": [h for h in hosts if h.available_for_placement],
+        "parked": [
+            h
+            for h in hosts
+            if not h.machine.in_transition
+            and h.state.is_parked
+            and not h.out_of_service
+            and not h.in_maintenance
+        ],
+        "oos": [h for h in hosts if h.out_of_service],
+        "transitioning": [h for h in hosts if h.machine.in_transition],
+        "waking": [
+            h
+            for h in hosts
+            if h.machine.in_transition
+            and h.machine.target_state is PowerState.ACTIVE
+        ],
+        "evacuating": [h for h in hosts if h.evacuating],
+    }
+
+
+def index_views(cluster):
+    return {
+        "active": cluster.active_hosts(),
+        "placeable": cluster.placeable_hosts(),
+        "parked": cluster.parked_hosts(),
+        "oos": cluster.out_of_service_hosts(),
+        "transitioning": cluster.transitioning_hosts(),
+        "waking": cluster.waking_hosts(),
+        "evacuating": cluster.evacuating_hosts(),
+    }
+
+
+def assert_index_matches_scan(cluster):
+    scanned = scan_views(cluster)
+    indexed = index_views(cluster)
+    for category in scanned:
+        assert indexed[category] == scanned[category], category
+    # The O(1) counters must agree with the views they summarize.
+    assert cluster.n_active_hosts() == len(scanned["active"])
+    assert cluster.n_parked_hosts() == len(scanned["parked"])
+    assert cluster.n_transitioning_hosts() == len(scanned["transitioning"])
+    assert cluster.n_evacuating_hosts() == len(scanned["evacuating"])
+    assert cluster.evacuating_cores() == sum(
+        h.cores for h in scanned["evacuating"]
+    )
+
+
+PARK_STATES = (PowerState.SLEEP, PowerState.HIBERNATE, PowerState.OFF)
+
+#: op kinds: (code, host index selector, park-state selector, dt)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "park",
+                "wake",
+                "fault",
+                "repair",
+                "maintenance",
+                "evacuate",
+                "admit",
+                "retire",
+                "advance",
+            ]
+        ),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2),
+        st.floats(min_value=0.0, max_value=400.0),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_index_matches_scan_after_random_operations(ops):
+    env = Environment()
+    cluster = Cluster.homogeneous(
+        env, PROTOTYPE_BLADE, n_hosts=6, cores=8.0, mem_gb=64.0
+    )
+    admitted = 0
+    for code, host_idx, state_idx, dt in ops:
+        host = cluster.hosts[host_idx]
+        if code == "park":
+            if host.is_active and not host.vms:
+                env.process(host.park(PARK_STATES[state_idx]))
+                # Nudge the clock so the transition actually starts (the
+                # index must reflect the in-flight transition).
+                env.run(until=env.now + 1e-9)
+        elif code == "wake":
+            if (
+                not host.machine.in_transition
+                and host.state.is_parked
+                and not host.out_of_service
+            ):
+                env.process(host.wake())
+                env.run(until=env.now + 1e-9)
+        elif code == "fault":
+            host.out_of_service = True
+        elif code == "repair":
+            if host.out_of_service:
+                host.repair()
+        elif code == "maintenance":
+            host.in_maintenance = not host.in_maintenance
+        elif code == "evacuate":
+            host.evacuating = not host.evacuating
+        elif code == "admit":
+            if host.is_active:
+                vm = VM(
+                    "vm-{:04d}".format(admitted),
+                    vcpus=1.0,
+                    mem_gb=2.0,
+                    trace=FlatTrace(0.5),
+                )
+                if host.fits(vm):
+                    cluster.add_vm(vm, host)
+                    admitted += 1
+        elif code == "retire":
+            if cluster.vms:
+                cluster.remove_vm(cluster.vms[0])
+        elif code == "advance":
+            env.run(until=env.now + dt)
+        assert_index_matches_scan(cluster)
+    # Drain all in-flight transitions and check the settled state too.
+    env.run()
+    assert_index_matches_scan(cluster)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=8)
+)
+def test_index_tracks_failed_wakes_and_illegal_requests(seq):
+    """Rejected transitions must leave the index untouched."""
+    env = Environment()
+    cluster = Cluster.homogeneous(env, PROTOTYPE_BLADE, n_hosts=3)
+    host = cluster.hosts[0]
+    for choice in seq:
+        try:
+            if choice == 0:
+                env.process(host.park(PARK_STATES[0]))
+            elif choice == 1:
+                env.process(host.wake())
+            else:
+                env.run(until=env.now + 50.0)
+        except (IllegalTransition, RuntimeError):
+            pass
+        assert_index_matches_scan(cluster)
+    env.run()
+    assert_index_matches_scan(cluster)
+
+
+def test_index_serves_views_in_inventory_order():
+    """Views preserve host inventory order exactly (float-sum identity)."""
+    env = Environment()
+    cluster = Cluster.homogeneous(env, PROTOTYPE_BLADE, n_hosts=5)
+    # Park hosts out of order; the parked view must still come back in
+    # inventory order.
+    for idx in (3, 1, 4):
+        env.process(cluster.hosts[idx].park(PowerState.SLEEP))
+    env.run()
+    assert cluster.parked_hosts() == [
+        cluster.hosts[1],
+        cluster.hosts[3],
+        cluster.hosts[4],
+    ]
+    assert cluster.active_hosts() == [cluster.hosts[0], cluster.hosts[2]]

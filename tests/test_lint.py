@@ -46,6 +46,7 @@ BAD_FIXTURES = {
     "RL008": "rl008_bad.py",
     "RL009": "rl009_bad.py",
     "RL010": "rl010_bad.py",
+    "RL011": "rl011_bad.py",
 }
 
 GOOD_FIXTURES = {
@@ -64,11 +65,12 @@ def expected_lines(path: Path) -> set:
 
 
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
-        assert len(ALL_RULES) == 10
+    def test_all_eleven_rules_registered(self):
+        assert len(ALL_RULES) == 11
         assert sorted(RULES_BY_ID) == [
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL006", "RL007", "RL008", "RL009", "RL010",
+            "RL011",
         ]
 
     def test_rules_have_metadata(self):
@@ -136,6 +138,17 @@ class TestFixtures:
         test_file = tmp_path / "test_moves.py"
         test_file.write_text(source)
         assert lint_file(test_file, rules_for_ids(["RL010"])) == []
+
+    def test_rl011_skips_test_files_and_manager_is_clean(self, tmp_path):
+        # The live manager's hot paths read the index views — no findings
+        # (and no suppressions needed outside deliberate reconciliation).
+        manager = REPO_ROOT / "src" / "repro" / "core" / "manager.py"
+        assert lint_file(manager, rules_for_ids(["RL011"])) == []
+        # Tests drive evaluate()/react_to_shortfall() on toy clusters.
+        source = (FIXTURES / "rl011_bad.py").read_text()
+        test_file = tmp_path / "test_manager.py"
+        test_file.write_text(source)
+        assert lint_file(test_file, rules_for_ids(["RL011"])) == []
 
     def test_rl009_exempts_the_machine_module_and_tests(self, tmp_path):
         # The machine module owns the attributes the rule polices...

@@ -150,3 +150,92 @@ class TestDeterminism:
         env.run()
         assert seen == [p]
         assert env.active_process is None
+
+
+class TestSharedTimeout:
+    def test_same_instant_waiters_share_one_event(self):
+        env = Environment()
+        a = env.shared_timeout(5.0)
+        b = env.shared_timeout(5.0)
+        assert a is b
+        assert a.delay == 5.0
+
+    def test_different_instants_get_different_events(self):
+        env = Environment()
+        a = env.shared_timeout(5.0)
+        b = env.shared_timeout(6.0)
+        assert a is not b
+
+    def test_registry_purged_after_firing(self):
+        env = Environment()
+        env.shared_timeout(5.0)
+        env.run(until=10.0)
+        assert env._shared_timeouts == {}
+        # A fresh request for the same wall-clock instant must not reuse
+        # the already-processed event.
+        c = env.shared_timeout(0.0)
+        assert not c.processed
+
+    def test_waiters_resume_in_request_order(self):
+        env = Environment()
+        log = []
+
+        def loop(name, period):
+            while True:
+                yield env.shared_timeout(period)
+                log.append((env.now, name))
+
+        env.process(loop("a", 10.0))
+        env.process(loop("b", 5.0))
+        env.run(until=21.0)
+        assert log == [
+            (5.0, "b"),
+            (10.0, "a"),
+            (10.0, "b"),
+            (15.0, "b"),
+            (20.0, "a"),
+            (20.0, "b"),
+        ]
+
+    def test_matches_separate_timeout_ordering(self):
+        def build(shared):
+            env = Environment()
+            log = []
+
+            def loop(name, period):
+                while True:
+                    if shared:
+                        yield env.shared_timeout(period)
+                    else:
+                        yield env.timeout(period)
+                    log.append((env.now, name))
+
+            env.process(loop("x", 3.0))
+            env.process(loop("y", 6.0))
+            env.run(until=19.0)
+            return log
+
+        assert build(shared=True) == build(shared=False)
+
+    def test_negative_delay_raises(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.shared_timeout(-1.0)
+
+    def test_events_processed_counts_coalesced_once(self):
+        def run(shared):
+            env = Environment()
+
+            def waiter():
+                if shared:
+                    yield env.shared_timeout(5.0)
+                else:
+                    yield env.timeout(5.0)
+
+            env.process(waiter())
+            env.process(waiter())
+            env.run()
+            return env.events_processed
+
+        # Coalescing two same-instant waiters saves exactly one heap pop.
+        assert run(shared=True) == run(shared=False) - 1
