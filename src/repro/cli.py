@@ -279,10 +279,16 @@ def cmd_policies(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the lint machinery is dev tooling, not needed for
     # the simulation fast path.
-    from repro.tools.lint import default_rules, lint_paths, rules_for_ids
+    from repro.tools.lint import (
+        default_project_rules,
+        default_rules,
+        lint_paths,
+        rules_for_ids,
+    )
 
     if args.list_rules:
-        rules = default_rules()
+        rules = default_rules() + default_project_rules()
+        rules.sort(key=lambda rule: rule.rule_id)
         print(
             render_table(
                 ["rule", "title"],
@@ -292,15 +298,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
     try:
-        rules = (
-            rules_for_ids(args.rules.split(",")) if args.rules else default_rules()
+        rules = rules_for_ids(args.rules.split(",")) if args.rules else None
+        report = lint_paths(
+            args.paths or ["src", "benchmarks"],
+            rules=rules,
+            cache=not args.no_cache,
+            baseline=args.baseline,
+            exclude=tuple(args.exclude or ()),
+            workers=args.workers,
         )
-        report = lint_paths(args.paths or ["src", "benchmarks"], rules=rules)
     except (FileNotFoundError, ValueError) as exc:
         print("repro lint: {}".format(exc), file=sys.stderr)
         return 2
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif(rules or default_rules() + default_project_rules()))
     else:
         print(report.render_text())
     return 0 if report.ok else 1
@@ -701,9 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format",
+        help="output format (sarif for CI annotation uploads)",
     )
     lint_parser.add_argument(
         "--rules",
@@ -714,6 +727,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="suppress findings recorded in FILE (a --format json report); "
+        "only new findings fail the run",
+    )
+    lint_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the pass-1 summary cache (REPRO_NO_LINT_CACHE=1 too)",
+    )
+    lint_parser.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="skip files whose path contains this directory name "
+        "(repeatable; explicit file arguments are always linted)",
+    )
+    lint_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="analyze cache-miss files with this many threads "
+        "(finding order is deterministic regardless)",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

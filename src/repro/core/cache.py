@@ -47,6 +47,46 @@ from typing import Any, Dict, Iterable, Optional, Union
 #:    telemetry_dropped).
 CACHE_SCHEMA = 3
 
+#: Every counter key ``run_scenario`` writes into ``report.extra``.
+#:
+#: Cached results round-trip ``extra`` through pickle, so a counter that
+#: exists in fresh runs but not in this list is exactly the kind of
+#: silent schema drift the CACHE_SCHEMA bumps above exist to prevent —
+#: reprolint RL013 cross-checks this list against the actual
+#: ``report.extra`` writes by AST, in both directions.  Adding a counter
+#: means adding it here *and* bumping :data:`CACHE_SCHEMA`.
+EXTRA_FIELDS = (
+    "reactive_wakes",
+    "wakes_requested",
+    "parks_completed",
+    "evacuations_aborted",
+    "balancer_moves",
+    "mean_admission_wait_s",
+    "pending_admissions_end",
+    "wake_failures",
+    "wake_retries",
+    "blacklists",
+    "escalations",
+    "hosts_repaired",
+    "retires_unknown",
+    "hosts_out_of_service",
+    "cap_deferrals",
+    "migrations_started",
+    "migrations_completed",
+    "migrations_aborted",
+    "migrations_failed",
+    "migration_retries",
+    "safe_mode_enters",
+    "safe_mode_exits",
+    "telemetry_dropped",
+    "violation_gold",
+    "violation_silver",
+    "violation_bronze",
+    "churn_arrived",
+    "churn_rejected",
+    "churn_departed",
+)
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_DISABLE = "REPRO_NO_CACHE"
 

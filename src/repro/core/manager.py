@@ -315,7 +315,7 @@ class PowerAwareManager:
     # The consolidation evaluation
     # ------------------------------------------------------------------
 
-    def evaluate(self) -> None:
+    def evaluate(self) -> None:  # reprolint: hot
         """One consolidation round (public for unit tests)."""
         now = self.env.now
         observed, telemetry_age = self._observe(now)
@@ -486,7 +486,7 @@ class PowerAwareManager:
     # Growing capacity (wakes)
     # ------------------------------------------------------------------
 
-    def react_to_shortfall(self) -> None:
+    def react_to_shortfall(self) -> None:  # reprolint: hot
         """Watchdog action: wake immediately on capacity shortfall.
 
         Two triggers, both checked every watchdog tick:

@@ -139,7 +139,7 @@ class Cluster:
             mask |= _B_EVACUATING
         return mask
 
-    def _reindex_host(self, host: Host) -> None:
+    def _reindex_host(self, host: Host) -> None:  # reprolint: hot
         """Re-file one host after a membership mutation (index callback)."""
         pos = self._pos[host.name]
         mask = self._host_mask(host)

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
+from repro.core.seeding import stream_rng
+
 if TYPE_CHECKING:
     from repro.telemetry.trace import TraceBuffer
 
@@ -222,10 +224,13 @@ class FaultInjector:
         self.host_name = host_name
         self._trace = trace
         # Stable across processes (unlike built-in hash, which is salted).
+        # The failure stream predates the labelled-stream discipline; its
+        # digest input is "{seed}:{host}" with no subsystem prefix, and
+        # relabelling would reseed every certified fault benchmark
+        # (A10/A11 golden thresholds), so it stays grandfathered.
         digest = zlib.crc32("{}:{}".format(seed, host_name).encode())
-        self._rng = np.random.default_rng(digest)
-        repair_digest = zlib.crc32("repair:{}:{}".format(seed, host_name).encode())
-        self._repair_rng = np.random.default_rng(repair_digest)
+        self._rng = np.random.default_rng(digest)  # reprolint: disable=RL012
+        self._repair_rng = stream_rng("repair", seed, host_name)
 
     def draw_wake_failure(self, t: float = 0.0) -> bool:
         rate = self.model.failure_rate_at(t)
@@ -276,10 +281,7 @@ class MigrationFaultInjector:
         """
         if self.model.failure_rate <= 0:
             return None
-        digest = zlib.crc32(
-            "migration:{}:{}".format(self._seed, migration_id).encode()
-        )
-        rng = np.random.default_rng(digest)
+        rng = stream_rng("migration", self._seed, migration_id)
         if rng.random() >= self.model.failure_rate:
             return None
         return float(

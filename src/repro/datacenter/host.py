@@ -21,12 +21,9 @@ from repro.power.states import PowerState
 
 def _latency_rng(seed: int, name: str) -> "np.random.Generator":
     """Per-host seeded RNG for transition-latency jitter."""
-    import zlib
+    from repro.core.seeding import stream_rng
 
-    import numpy as np
-
-    digest = zlib.crc32("latency:{}:{}".format(seed, name).encode())
-    return np.random.default_rng(digest)
+    return stream_rng("latency", seed, name)
 
 
 class InsufficientCapacity(RuntimeError):
@@ -327,7 +324,7 @@ class Host:
     # Demand & power
     # ------------------------------------------------------------------
 
-    def demand_cores(self, t: float) -> float:
+    def demand_cores(self, t: float) -> float:  # reprolint: hot
         """Total CPU demand at ``t``: VM demand plus migration tax.
 
         Memoized per ``(t, epoch)`` — the sampler and the manager's

@@ -214,7 +214,7 @@ class ClusterSampler:
         self._process = self.env.process(self._run())
         return self._process
 
-    def sample_once(self) -> float:
+    def sample_once(self) -> float:  # reprolint: hot
         """Take one sample immediately; returns the epoch's shortfall cores.
 
         This is the simulation's per-instant hot path, so the whole tick

@@ -118,6 +118,39 @@ from repro.telemetry.trace import (
 
 _ACTIVE = "active"
 
+#: Trace event tag -> validator invariant families that consume it.
+#:
+#: This is the coverage contract reprolint RL013 audits by AST: every
+#: event type a producer defines must appear here mapped to at least one
+#: family this module actually flags, so no event can be emitted into a
+#: trace that no invariant ever examines.  Adding a trace event without
+#: extending the checker (or mapping it to an existing family that reads
+#: it) is a lint failure, not a silent coverage hole.
+EVENT_COVERAGE = {
+    "host-init": ("sequence", "state-machine"),
+    "transition-start": ("state-machine", "transition-latency"),
+    "transition-end": ("state-machine", "transition-latency"),
+    "fault-injected": ("fault-accounting",),
+    "migration-start": ("migration-conservation",),
+    "migration-end": ("migration-conservation", "residency"),
+    "migration-failed": ("migration-rollback",),
+    "migration-retry": ("migration-retry",),
+    "safe-mode-enter": ("safe-mode",),
+    "safe-mode-exit": ("safe-mode",),
+    "evacuation-planned": ("evacuation-lifecycle",),
+    "evacuation-end": ("evacuation-lifecycle", "park-after-evacuation"),
+    "decision": ("untraced-park", "untraced-wake", "safe-mode"),
+    "watchdog-wake": ("watchdog-payload", "escalation-payload"),
+    "wake-retry": ("wake-backoff",),
+    "host-blacklisted": ("blacklist-hold",),
+    "host-repaired": ("repair-reentry",),
+    "escalation": ("escalation-payload",),
+    "admission": ("residency",),
+    "vm-retired": ("residency",),
+    "host-final": ("state-machine", "energy", "run-end"),
+    "run-end": ("run-end", "migration-conservation"),
+}
+
 #: Admission actions that bind a VM to a host.
 _PLACING_ACTIONS = frozenset({"admit", "admit-placed", "initial-place"})
 

@@ -25,11 +25,10 @@ ground truth exactly as before, and fault-free runs stay byte-identical.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
+from repro.core.seeding import stream_rng
 
 
 @dataclass(frozen=True)
@@ -85,10 +84,7 @@ class TelemetryFeed:
     def _tick_dropped(self, tick: int) -> bool:
         if self.model.dropout_rate <= 0:
             return False
-        digest = zlib.crc32(
-            "telemetry:{}:{}".format(self._seed, tick).encode()
-        )
-        rng = np.random.default_rng(digest)
+        rng = stream_rng("telemetry", self._seed, tick)
         return bool(rng.random() < self.model.dropout_rate)
 
     def publish(self, view: ClusterView) -> bool:

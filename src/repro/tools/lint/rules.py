@@ -6,10 +6,14 @@ the watt/joule/second/GB arithmetic (RL003/RL004), artifacts that
 survive the process-pool and disk-cache boundaries introduced in
 PR 1 (RL008), the traced power-transition discipline the
 decision-trace validator replays (RL009), and the O(changed-hosts)
-decision hot paths the fleet-scale kernel relies on (RL011) — plus
-three general
-correctness rules that have bitten simulation codebases before
-(RL005/RL006/RL007).
+decision hot paths the fleet-scale kernel relies on (RL011) and the
+allocation hygiene of every ``# reprolint: hot``-registered function
+(RL015) — plus three general correctness rules that have bitten
+simulation codebases before (RL005/RL006/RL007).  The *project-wide*
+rules (RL012–RL014: RNG stream provenance, trace/validator coverage,
+memo-invalidation completeness) live in
+:mod:`repro.tools.lint.project_rules` and run in pass 2 over the
+assembled :class:`~repro.tools.lint.project.ProjectContext`.
 
 Adding a rule: subclass :class:`~repro.tools.lint.engine.Rule`, set
 ``rule_id``/``title``/``rationale``, implement ``check`` (usually ~30
@@ -20,7 +24,7 @@ lines of AST walking over ``module.tree``), and append the class to
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from repro.tools.lint.engine import Finding, ModuleContext, Rule
 from repro.tools.lint.units import UnitInferencer, describe
@@ -736,10 +740,21 @@ class RawMigrateRule(Rule):
 # RL011 — no full-inventory host scans in the DRM decision hot paths
 # ----------------------------------------------------------------------
 
-#: Function names that constitute the manager's per-round decision hot
-#: path.  ``evaluate`` runs every consolidation round; the watchdog calls
-#: ``react_to_shortfall`` every tick.
+#: Legacy hot-path function names, kept so the rule still fires on the
+#: manager's decision path even if a ``# reprolint: hot`` marker is
+#: dropped.  New hot functions register with the marker instead of being
+#: added here — RL011 and RL015 both honour the union.
 _HOT_PATH_FUNCS = frozenset({"evaluate", "react_to_shortfall"})
+
+
+def _is_hot_function(module: ModuleContext, func: ast.AST) -> bool:
+    """True for functions in the kernel-hot registry.
+
+    The registry is the union of explicitly marked functions
+    (``# reprolint: hot`` on the signature) and the legacy hardcoded
+    manager decision-path names.
+    """
+    return module.is_hot(func) or getattr(func, "name", "") in _HOT_PATH_FUNCS
 
 
 class HotPathClusterScanRule(Rule):
@@ -760,7 +775,7 @@ class HotPathClusterScanRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
-            if node.name not in _HOT_PATH_FUNCS:
+            if not _is_hot_function(module, node):
                 continue
             yield from self._check_function(module, node)
 
@@ -807,6 +822,83 @@ class HotPathClusterScanRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# RL015 — allocation hygiene in kernel-hot functions
+# ----------------------------------------------------------------------
+
+
+class AllocationHygieneRule(Rule):
+    rule_id = "RL015"
+    title = "no sorted()/comprehensions/loop container churn in hot functions"
+    rationale = (
+        "Functions in the `# reprolint: hot` registry run per tick per "
+        "host at fleet scale; a sorted() call or a comprehension builds "
+        "a fresh container every invocation, and a dict/list/set "
+        "constructed inside a loop multiplies that by the iteration "
+        "count.  Hoist the allocation, reuse a preallocated buffer, or "
+        "switch to a generator expression (allocation-free) — suppress "
+        "per line only for a slow path that is provably off-tick."
+    )
+    skip_test_files = True
+
+    #: Builtin constructors whose call inside a loop churns a container.
+    _CONTAINER_BUILTINS = frozenset({"dict", "list", "set"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_hot_function(module, node):
+                continue
+            for stmt in node.body:
+                yield from self._check_node(module, stmt, node.name, 0)
+
+    def _check_node(
+        self, module: ModuleContext, node: ast.AST, func: str, loop_depth: int
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs execute in the hot scope too; keep walking but
+            # reset loop depth (the def body runs when *called*).
+            loop_depth = 0
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id == "sorted":
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "sorted() in kernel-hot `{}` allocates and sorts a "
+                    "fresh list per call; hoist it off the hot path".format(func),
+                )
+            elif loop_depth and node.func.id in self._CONTAINER_BUILTINS:
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "{}() constructed inside a loop in kernel-hot `{}`; "
+                    "hoist or reuse a preallocated container".format(
+                        node.func.id, func
+                    ),
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            yield module.finding(
+                self.rule_id,
+                node,
+                "comprehension in kernel-hot `{}` builds a container per "
+                "call; use a generator expression or a preallocated "
+                "buffer".format(func),
+            )
+        elif loop_depth and isinstance(node, (ast.Dict, ast.List, ast.Set)):
+            yield module.finding(
+                self.rule_id,
+                node,
+                "container literal inside a loop in kernel-hot `{}`; "
+                "hoist or reuse a preallocated container".format(func),
+            )
+        inner_depth = loop_depth + (
+            1 if isinstance(node, (ast.For, ast.AsyncFor, ast.While)) else 0
+        )
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_node(module, child, func, inner_depth)
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 
@@ -822,25 +914,47 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UntracedTransitionRule,
     RawMigrateRule,
     HotPathClusterScanRule,
+    AllocationHygieneRule,
 )
 
+#: Per-module rules only; see :func:`registry` for the combined map that
+#: includes the project-wide rules (RL012–RL014).
 RULES_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}
 
 
+def registry() -> Dict[str, type]:
+    """Combined id -> class map: module rules and project rules.
+
+    Imported lazily to keep ``rules`` importable without the project
+    layer (``project_rules`` depends on ``project`` which depends on
+    this module).
+    """
+    from repro.tools.lint.project_rules import ALL_PROJECT_RULES
+
+    combined: Dict[str, type] = dict(RULES_BY_ID)
+    combined.update({cls.rule_id: cls for cls in ALL_PROJECT_RULES})
+    return combined
+
+
 def default_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, in id order."""
+    """Fresh instances of every registered *module* rule, in id order."""
     return [RULES_BY_ID[rule_id]() for rule_id in sorted(RULES_BY_ID)]
 
 
-def rules_for_ids(ids: Sequence[str]) -> List[Rule]:
-    """Instantiate a subset of rules by id; unknown ids raise ValueError."""
-    selected: List[Rule] = []
+def rules_for_ids(ids: Sequence[str]) -> List[Any]:
+    """Instantiate a subset of rules by id; unknown ids raise ValueError.
+
+    Ids may name module rules or project rules; the returned list mixes
+    both kinds (``lint_paths`` splits them by type).
+    """
+    known = registry()
+    selected: List[Any] = []
     for rule_id in ids:
-        cls = RULES_BY_ID.get(rule_id.upper())
+        cls = known.get(rule_id.upper())
         if cls is None:
             raise ValueError(
                 "unknown rule {!r}; known rules: {}".format(
-                    rule_id, ", ".join(sorted(RULES_BY_ID))
+                    rule_id, ", ".join(sorted(known))
                 )
             )
         selected.append(cls())

@@ -1,0 +1,33 @@
+"""Fixture: RL012 — unlabelled, untraceable, and tainted RNG seeds."""
+
+import zlib
+
+import numpy as np
+
+
+def failure_rng(seed, host):
+    # No subsystem prefix before the first ':' in the digest input.
+    digest = zlib.crc32("{}:{}".format(seed, host).encode())
+    return np.random.default_rng(digest)  # finding: unlabelled stream
+
+
+def jitter_rng(seed, host):
+    digest = zlib.crc32("jitter:{}:{}".format(seed, host).encode())
+    return np.random.default_rng(digest)
+
+
+def rng_for(seed, host):
+    # Seed flows in through a parameter: every caller is tainted.
+    return np.random.default_rng(seed)
+
+
+def untraceable_rng(host):
+    return np.random.default_rng(len(host))  # finding: not seed-derived
+
+
+def good_caller(scenario_seed):
+    return rng_for(scenario_seed, "h-0")
+
+
+def bad_caller(tick_count):
+    return rng_for(tick_count, "h-1")  # finding: tainted seed argument

@@ -1,0 +1,10 @@
+"""Fixture: RL012 — a second subsystem reusing another module's stream."""
+
+import zlib
+
+import numpy as np
+
+
+def repair_rng(seed, host):
+    digest = zlib.crc32("jitter:{}:{}".format(seed, host).encode())
+    return np.random.default_rng(digest)  # finding: shares 'jitter' stream

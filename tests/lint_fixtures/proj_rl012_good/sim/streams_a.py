@@ -1,0 +1,19 @@
+"""Fixture: RL012 — labelled, seed-derived, per-subsystem streams."""
+
+import zlib
+
+import numpy as np
+
+
+def jitter_rng(seed, host):
+    digest = zlib.crc32("jitter:{}:{}".format(seed, host).encode())
+    return np.random.default_rng(digest)
+
+
+def rng_for(seed, host):
+    return np.random.default_rng(seed)
+
+
+def caller(scenario_seed):
+    # Literal seeds and seed-derived names are both acceptable taints.
+    return rng_for(scenario_seed, "h-0"), rng_for(1234, "h-1")

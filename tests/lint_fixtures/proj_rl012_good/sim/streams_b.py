@@ -1,0 +1,10 @@
+"""Fixture: RL012 — the second subsystem draws from its own stream."""
+
+import zlib
+
+import numpy as np
+
+
+def repair_rng(seed, host):
+    digest = zlib.crc32("repair:{}:{}".format(seed, host).encode())
+    return np.random.default_rng(digest)

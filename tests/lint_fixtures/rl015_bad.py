@@ -1,0 +1,24 @@
+"""Fixture: RL015 — allocation churn inside kernel-hot functions."""
+
+
+def sample_once(rows):  # reprolint: hot
+    worst = sorted(rows, key=lambda r: r.load)  # finding: sorted() per call
+    names = [r.name for r in rows]  # finding: list built per call
+    total = 0.0
+    for r in rows:
+        bucket = {"row": r.name}  # finding: dict literal per iteration
+        seen = set()  # finding: set() constructed per iteration
+        seen.add(bucket["row"])
+        total += r.load
+    return worst, names, total
+
+
+class Sampler:
+    def hot_tick(self, rows):  # reprolint: hot
+        by_name = {r.name: r.load for r in rows}  # finding: dict built per call
+        return by_name
+
+
+def audit(rows):
+    # Not registered hot: the same allocations are fine on cold paths.
+    return sorted(rows, key=lambda r: r.load), [r.name for r in rows]

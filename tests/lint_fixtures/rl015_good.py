@@ -1,0 +1,31 @@
+"""Fixture: RL015 — hot functions reuse buffers and stream generators."""
+
+
+def sample_once(rows, scratch):  # reprolint: hot
+    # Preallocated scratch buffer, generator expressions, tuple keys:
+    # nothing here allocates a fresh container per call or per row.
+    total = 0.0
+    for i, r in enumerate(rows):
+        scratch[i] = r.load
+        total += r.load
+    worst = max(r.load for r in rows)
+    key = (total, worst)
+    return key
+
+
+class Sampler:
+    def __init__(self):
+        # The reusable container is built once, off the hot path.
+        self._by_name = {}
+
+    def hot_tick(self, rows):  # reprolint: hot
+        by_name = self._by_name
+        by_name.clear()
+        for r in rows:
+            by_name[r.name] = r.load
+        return sum(by_name.values())
+
+
+def audit(rows):
+    # Cold paths allocate freely.
+    return sorted(rows, key=lambda r: r.load), [r.name for r in rows]

@@ -1,0 +1,41 @@
+"""Fixture: RL013 — events/counters escaping the validation registries.
+
+One producer module carrying its own registries, with every mismatch
+direction represented: an uncovered event, a registry entry for a ghost
+event, a family no validator flags, a rogue ``report.extra`` counter,
+and a declared counter nobody writes.
+"""
+
+
+class PingEvent:
+    event = "ping"
+
+
+class OrphanEvent:  # finding: 'orphan' missing from EVENT_COVERAGE
+    event = "orphan"
+
+
+EVENT_COVERAGE = {
+    "ping": ("sequence", "never-checked"),  # finding: family never flagged
+    "ghost": ("sequence",),  # finding: no producer defines 'ghost'
+}
+
+EXTRA_FIELDS = (  # finding: 'phantom' declared but never written
+    "covered",
+    "phantom",
+)
+
+
+def validate(events, flag):
+    for ev in events:
+        if ev.seq < 0:
+            flag("sequence", ev.seq, ev.t, "negative sequence number")
+
+
+def publish(report):
+    report.extra.update(
+        {
+            "covered": 1.0,
+            "rogue": 2.0,  # finding: not in EXTRA_FIELDS
+        }
+    )

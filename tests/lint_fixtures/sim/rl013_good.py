@@ -1,0 +1,38 @@
+"""Fixture: RL013 — every event covered, every counter registered."""
+
+
+class PingEvent:
+    event = "ping"
+
+
+class PongEvent:
+    event = "pong"
+
+
+EVENT_COVERAGE = {
+    "ping": ("sequence",),
+    "pong": ("sequence", "pairing"),
+}
+
+EXTRA_FIELDS = (
+    "pings",
+    "pongs",
+)
+
+
+def validate(events, flag):
+    open_pings = 0
+    for ev in events:
+        if ev.seq < 0:
+            flag("sequence", ev.seq, ev.t, "negative sequence number")
+        if ev.tag == "ping":
+            open_pings += 1
+        elif ev.tag == "pong":
+            open_pings -= 1
+            if open_pings < 0:
+                flag("pairing", ev.seq, ev.t, "pong without a ping")
+
+
+def publish(report, pings, pongs):
+    report.extra.update({"pings": float(pings)})
+    report.extra["pongs"] = float(pongs)

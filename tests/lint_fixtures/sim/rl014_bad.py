@@ -1,0 +1,37 @@
+"""Fixture: RL014 — writes to memo-feeding fields must bump the epoch.
+
+``place`` establishes that ``vms`` and ``_tax`` feed the
+``_demand_epoch``-keyed memo (it writes them *and* bumps); ``remove``
+then mutates ``vms`` with the bump deleted (the mutation-test shape),
+and ``set_tax`` only bumps on one branch.
+"""
+
+
+class Host:
+    def __init__(self):
+        self.vms = {}
+        self._tax = 0.0
+        self._demand_epoch = 0
+        self._demand_key = None
+        self._demand_value = 0.0
+
+    def place(self, vm):
+        self.vms[vm.name] = vm
+        self._tax += vm.tax
+        self._demand_epoch += 1
+
+    def remove(self, vm):
+        del self.vms[vm.name]  # finding: bump statement was removed
+
+    def set_tax(self, tax, urgent):
+        self._tax = tax  # finding: bump only on the urgent branch
+        if urgent:
+            self._demand_epoch += 1
+
+    def demand_cores(self, t):
+        key = (t, self._demand_epoch)
+        if self._demand_key == key:
+            return self._demand_value
+        self._demand_key = key
+        self._demand_value = sum(vm.demand(t) for vm in self.vms.values())
+        return self._demand_value + self._tax

@@ -1,0 +1,41 @@
+"""Fixture: RL014 — every mutation path bumps the epoch it feeds."""
+
+
+class Host:
+    def __init__(self):
+        self.vms = {}
+        self._tax = 0.0
+        self._demand_epoch = 0
+        self._demand_key = None
+        self._demand_value = 0.0
+
+    def place(self, vm):
+        self.vms[vm.name] = vm
+        self._tax += vm.tax
+        self._demand_epoch += 1
+
+    def remove(self, vm):
+        if vm.name not in self.vms:
+            raise KeyError(vm.name)  # error path commits nothing
+        del self.vms[vm.name]
+        self._demand_epoch += 1
+
+    def set_tax(self, tax):
+        self._tax = tax
+        self._demand_epoch += 1
+
+    def _bump(self):
+        self._demand_epoch += 1
+
+    def clear(self):
+        # Bumping through a same-class helper call also counts.
+        self.vms.clear()
+        self._bump()
+
+    def demand_cores(self, t):
+        key = (t, self._demand_epoch)
+        if self._demand_key == key:
+            return self._demand_value
+        self._demand_key = key
+        self._demand_value = sum(vm.demand(t) for vm in self.vms.values())
+        return self._demand_value + self._tax

@@ -26,6 +26,7 @@ from repro.tools.lint.rules import (
     ALL_RULES,
     RULES_BY_ID,
     default_rules,
+    registry,
     rules_for_ids,
 )
 from repro.tools.lint.units import unit_of_identifier
@@ -47,6 +48,7 @@ BAD_FIXTURES = {
     "RL009": "rl009_bad.py",
     "RL010": "rl010_bad.py",
     "RL011": "rl011_bad.py",
+    "RL015": "rl015_bad.py",
 }
 
 GOOD_FIXTURES = {
@@ -65,16 +67,23 @@ def expected_lines(path: Path) -> set:
 
 
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
-        assert len(ALL_RULES) == 11
+    def test_all_module_rules_registered(self):
+        assert len(ALL_RULES) == 12
         assert sorted(RULES_BY_ID) == [
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL006", "RL007", "RL008", "RL009", "RL010",
-            "RL011",
+            "RL011", "RL015",
+        ]
+
+    def test_combined_registry_includes_project_rules(self):
+        assert sorted(registry()) == [
+            "RL001", "RL002", "RL003", "RL004", "RL005",
+            "RL006", "RL007", "RL008", "RL009", "RL010",
+            "RL011", "RL012", "RL013", "RL014", "RL015",
         ]
 
     def test_rules_have_metadata(self):
-        for rule_cls in ALL_RULES:
+        for rule_cls in registry().values():
             assert rule_cls.title, rule_cls.rule_id
             assert rule_cls.rationale, rule_cls.rule_id
 
@@ -205,6 +214,33 @@ class TestSuppressions:
         findings = lint_file(path, rules_for_ids(["RL005"]))
         assert [f.line for f in findings] == [2]
 
+    def test_suppression_on_any_line_of_multiline_statement(self, tmp_path):
+        # The flagged node starts on line 5 but the trailing comment sits
+        # on the statement's *last* physical line — `end_lineno` span.
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def draw(n):\n"
+            "    return np.random.randint(\n"
+            "        0, 10, size=n,\n"
+            "    )  # reprolint: disable=RL001\n"
+        )
+        assert lint_file(path, rules_for_ids(["RL001"])) == []
+        # Control: without the comment the same statement is flagged.
+        path.write_text(
+            "import numpy as np\n"
+            "\n"
+            "\n"
+            "def draw(n):\n"
+            "    return np.random.randint(\n"
+            "        0, 10, size=n,\n"
+            "    )\n"
+        )
+        findings = lint_file(path, rules_for_ids(["RL001"]))
+        assert [f.line for f in findings] == [5]
+
 
 class TestEngine:
     def test_syntax_error_becomes_rl000_finding(self, tmp_path):
@@ -322,11 +358,25 @@ class TestHeadClean:
         assert report.files_checked > 50
 
     def test_examples_and_tests_are_lint_clean(self):
-        # Not part of the CI gate, but keeping them clean is free today;
-        # fixtures are excluded (they exist to be dirty).
-        report = lint_paths([REPO_ROOT / "examples", REPO_ROOT / "tests"])
-        dirty = [f for f in report.findings if "lint_fixtures" not in f.path]
-        assert dirty == [], "\n".join(f.render() for f in dirty)
+        # Part of the CI lint scope since the project-wide pass; fixtures
+        # are excluded (they exist to be dirty).
+        report = lint_paths(
+            [REPO_ROOT / "examples", REPO_ROOT / "tests"],
+            exclude=("lint_fixtures",),
+        )
+        assert report.ok, "\n" + report.render_text()
+
+    def test_lint_paths_emits_repo_relative_display_paths(self):
+        # Absolute input paths must still render repo-relative findings,
+        # so baselines and CI annotations are stable across machines.
+        report = lint_paths([REPO_ROOT / "src" / "repro" / "core"])
+        # Clean tree: check the property on a deliberately dirty file.
+        dirty = lint_paths([FIXTURES / "rl005_bad.py"])
+        assert dirty.findings
+        for finding in dirty.findings:
+            assert not finding.path.startswith("/"), finding.path
+            assert finding.path == "tests/lint_fixtures/rl005_bad.py"
+        assert report.files_checked > 5
 
 
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
