@@ -8,6 +8,8 @@ Gives operators the paper's experiments without writing Python::
     python -m repro.cli faults S3-PM --rate 0,0.05,0.1,0.2 --mttr-h 4
     python -m repro.cli chaos S3-PM --migration-fail-rate 0.1 \
         --telemetry-staleness-s 60
+    python -m repro.cli fuzz --campaign 100 --seed 7 --json
+    python -m repro.cli fuzz shrink tests/corpus/behavior-safe-mode.json
     python -m repro.cli policies
     python -m repro.cli cache info
 
@@ -333,7 +335,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
             print("repro trace check: {}".format(exc), file=sys.stderr)
             return 2
         outcome = validate_trace(log)
-        print(outcome.render_text())
+        if args.json:
+            payload = outcome.to_dict()
+            payload["path"] = args.path
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(outcome.render_text())
         return 0 if outcome.ok else 1
 
     if args.path:
@@ -413,11 +420,15 @@ def cmd_faults(args: argparse.Namespace) -> int:
     results = run_scenarios(specs, workers=args.workers, cache=not args.no_cache)
     reports = [artifacts.report for artifacts in results]
     if args.json:
-        print(
-            json.dumps(
-                [report.to_dict() for report in reports], indent=2, sort_keys=True
-            )
-        )
+        import repro
+
+        payload = {
+            "version": repro.__version__,
+            "seed": args.seed,
+            "rates": rates,
+            "results": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     base = reports[0].energy_kwh
     rows = []
@@ -506,7 +517,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             )
         )
     if args.json:
+        import repro
+
         payload = result.report.to_dict()
+        payload["version"] = repro.__version__
+        payload["seed"] = args.seed
+        payload["trace_hash"] = buf.trace_hash()
         payload["trace_check"] = outcome.to_dict()
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0 if outcome.ok else 1
@@ -534,6 +550,143 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     print()
     print(outcome.render_text())
     return 0 if outcome.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Grammar-driven fuzzing: run a campaign, or shrink one spec file."""
+    if args.action == "shrink":
+        return _cmd_fuzz_shrink(args)
+    if args.action != "campaign":
+        print(
+            "repro fuzz: unknown action {!r} (choose 'campaign' or "
+            "'shrink')".format(args.action),
+            file=sys.stderr,
+        )
+        return 2
+    if args.path:
+        print(
+            "repro fuzz: unexpected positional {!r} (a spec file only goes "
+            "with 'shrink')".format(args.path),
+            file=sys.stderr,
+        )
+        return 2
+    from repro.fuzz import run_campaign
+
+    progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
+    try:
+        summary = run_campaign(
+            args.campaign,
+            args.seed,
+            workers=args.workers,
+            cache=not args.no_cache,
+            shrink=not args.no_shrink,
+            max_shrink_evaluations=args.shrink_budget,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print("repro fuzz: {}".format(exc), file=sys.stderr)
+        return 2
+    payload = json.dumps(summary.to_json_dict(), indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload + "\n")
+        print("wrote campaign summary to {}".format(args.out), file=sys.stderr)
+    if args.json:
+        print(payload)
+    else:
+        print(
+            "campaign seed {}: {} scenario(s) — {} certified, {} violating, "
+            "{} error".format(
+                summary.seed, summary.campaign, summary.certified,
+                summary.violating, summary.errored,
+            )
+        )
+        histogram = summary.invariant_histogram()
+        if histogram:
+            print(
+                render_table(
+                    ["invariant", "violations"],
+                    [[name, count] for name, count in histogram.items()],
+                    title="violated invariant families",
+                )
+            )
+        for result in summary.reproducers:
+            print(
+                "reproducer ({}, {} reduction(s), {} evaluation(s)):".format(
+                    result.target, result.reductions, result.evaluations
+                )
+            )
+            sys.stdout.write(result.spec.dumps())
+        for label in summary.unshrinkable:
+            print("unshrinkable: {} (raise --shrink-budget?)".format(label))
+    if summary.unshrinkable:
+        return 2
+    return 0 if summary.ok else 1
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.fuzz import FuzzSpec, run_spec, shrink_spec
+    from repro.fuzz.campaign import _shrink_target
+    from repro.fuzz.corpus import CORPUS_FORMAT, load_corpus_entry
+
+    if not args.path:
+        print("repro fuzz shrink: a spec JSON file is required", file=sys.stderr)
+        return 2
+    target = args.target
+    try:
+        with open(args.path) as fh:
+            text = fh.read()
+        document = json.loads(text)
+        if isinstance(document, dict) and document.get("format") == CORPUS_FORMAT:
+            entry = load_corpus_entry(args.path)
+            spec = entry.spec
+            if target is None:
+                target = entry.target
+        else:
+            spec = FuzzSpec.loads(text)
+    except (OSError, ValueError) as exc:
+        print("repro fuzz shrink: {}".format(exc), file=sys.stderr)
+        return 2
+    cache = not args.no_cache
+    if target is None:
+        outcome = run_spec(spec, cache=cache)
+        target = _shrink_target(outcome)
+        if target is None:
+            print(
+                "repro fuzz shrink: spec certifies clean (behaviors: {}); "
+                "pick an outcome id with --target".format(
+                    ", ".join("extra:" + b for b in outcome.behaviors) or "none"
+                ),
+                file=sys.stderr,
+            )
+            return 2
+        print("shrinking against {}".format(target), file=sys.stderr)
+    try:
+        result = shrink_spec(
+            spec, target, max_evaluations=args.shrink_budget, cache=cache
+        )
+    except ValueError as exc:
+        print("repro fuzz shrink: {}".format(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.spec.dumps())
+        print("wrote shrunk spec to {}".format(args.out), file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            "{} in {} evaluation(s), {} reduction(s){}".format(
+                "converged" if result.converged else "budget exhausted",
+                result.evaluations,
+                result.reductions,
+                ":" if result.steps else " (already minimal)",
+            )
+        )
+        for step in result.steps:
+            print("  - {}".format(step))
+        sys.stdout.write(result.spec.dumps())
+    return 0 if result.converged else 1
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -690,6 +843,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(chaos_parser)
     chaos_parser.set_defaults(func=cmd_chaos)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="run a grammar-driven fuzzing campaign, or delta-debug one "
+        "spec file ('fuzz shrink FILE')",
+    )
+    fuzz_parser.add_argument(
+        "action",
+        nargs="?",
+        default="campaign",
+        help="'campaign' (default): generate, run and certify N scenarios; "
+        "'shrink': minimize one spec JSON file",
+    )
+    fuzz_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="spec JSON file to minimize (only with 'shrink')",
+    )
+    fuzz_parser.add_argument(
+        "--campaign",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of scenarios to generate (default: %(default)s)",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    fuzz_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width (default: REPRO_WORKERS or the CPU count)",
+    )
+    fuzz_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical campaign summary / shrink result as JSON",
+    )
+    fuzz_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the scenario result cache",
+    )
+    fuzz_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report violating specs without delta-debugging them",
+    )
+    fuzz_parser.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max oracle evaluations per shrink session "
+        "(default: %(default)s)",
+    )
+    fuzz_parser.add_argument(
+        "--target",
+        default=None,
+        metavar="ID",
+        help="outcome id to shrink against (shrink mode; default: the "
+        "spec's first violated invariant or error id)",
+    )
+    fuzz_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the summary JSON (campaign) or the shrunk spec "
+        "(shrink) to FILE",
+    )
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     cache_parser = sub.add_parser(
         "cache", help="inspect or clear the scenario result cache"

@@ -211,6 +211,10 @@ class ScenarioSpec:
     label: Optional[str] = None
     #: Capture a decision trace; the artifacts then carry its JSONL + hash.
     trace: bool = False
+    #: Extra cache-key material (e.g. the fuzz spec-grammar version, so a
+    #: grammar bump invalidates fuzz artifacts without touching other
+    #: cached scenarios).  Must be canonically encodable.
+    digest_extra: Optional[Dict[str, Any]] = None
 
     @property
     def name(self) -> str:
@@ -220,8 +224,12 @@ class ScenarioSpec:
         """Content hash for caching; raises ``Uncacheable`` when impossible."""
         # Folded in only when set, so plain specs keep their old digests
         # (and their old cache entries, which predate tracing).
-        extra = {"trace": True} if self.trace else None
-        return scenario_digest(self.config, self.kwargs, extra=extra)
+        extra: Dict[str, Any] = {}
+        if self.trace:
+            extra["trace"] = True
+        if self.digest_extra:
+            extra.update(self.digest_extra)
+        return scenario_digest(self.config, self.kwargs, extra=extra or None)
 
     def run(self) -> ScenarioArtifacts:
         """Execute the scenario in this process and freeze the outcome."""

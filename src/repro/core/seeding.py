@@ -30,6 +30,7 @@ RNG_STREAMS = {
     "repair": "repro.datacenter.faults",
     "migration": "repro.datacenter.faults",
     "telemetry": "repro.telemetry.view",
+    "fuzz": "repro.fuzz.generate",
 }
 
 

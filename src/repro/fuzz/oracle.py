@@ -1,0 +1,141 @@
+"""Certification oracle: run a fuzz spec and classify what happened.
+
+One spec run yields a :class:`SpecOutcome` — the scenario's trace hash,
+the validator's structured findings, and a uniform *outcome-id* set the
+shrinker minimizes against:
+
+* ``"<invariant>"`` — the trace replay tripped that validator invariant
+  family (e.g. ``"residency"``, ``"safe-mode"``);
+* ``"extra:<counter>"`` — the run exercised that management behavior
+  (``report.extra[counter] > 0``, e.g. ``"extra:migrations_failed"``) —
+  used to shrink *behavioral* reproducers for the regression corpus;
+* ``"error:<Type>"`` — the run itself raised (e.g. an infeasible
+  intermediate spec the shrinker produced: ``"error:RuntimeError"``).
+
+The oracle goes through :func:`repro.core.run_scenarios`, so campaign
+re-runs hit the disk result cache and a shrink session never simulates
+the same candidate twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Union
+
+from repro.core.cache import ResultCache
+from repro.core.parallel import ScenarioArtifacts, run_scenarios
+from repro.fuzz.spec import FuzzSpec
+from repro.telemetry.trace import TraceError, parse_trace
+from repro.telemetry.validate import validate_trace
+
+#: Outcome-id prefix for behavioral (report.extra counter) findings.
+EXTRA_PREFIX = "extra:"
+#: Outcome-id prefix for run failures (setup/simulation exceptions).
+ERROR_PREFIX = "error:"
+
+
+@dataclass
+class SpecOutcome:
+    """Everything the campaign and the shrinker need from one spec run."""
+
+    label: str
+    status: str  # "certified" | "violating" | "error"
+    trace_hash: Optional[str] = None
+    events_checked: int = 0
+    invariants: List[str] = field(default_factory=list)
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    behaviors: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "certified"
+
+    def outcome_ids(self) -> FrozenSet[str]:
+        """The uniform id set shrink oracles test membership against."""
+        ids = set(self.invariants)
+        ids.update(EXTRA_PREFIX + name for name in self.behaviors)
+        if self.error is not None:
+            ids.add(ERROR_PREFIX + self.error.split(":", 1)[0])
+        return frozenset(ids)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "status": self.status,
+            "trace_hash": self.trace_hash,
+            "events_checked": self.events_checked,
+            "invariants": list(self.invariants),
+            "violations": list(self.violations),
+            "behaviors": list(self.behaviors),
+            "error": self.error,
+        }
+
+
+def classify_artifacts(label: str, artifacts: ScenarioArtifacts) -> SpecOutcome:
+    """Replay a finished run's trace through the validator and classify."""
+    behaviors = sorted(
+        name
+        for name, value in artifacts.report.extra.items()
+        if isinstance(value, (int, float)) and value > 0
+    )
+    if artifacts.trace_jsonl is None:
+        return SpecOutcome(
+            label=label,
+            status="error",
+            behaviors=behaviors,
+            error="TraceError: scenario produced no trace",
+        )
+    try:
+        log = parse_trace(artifacts.trace_jsonl)
+    except TraceError as exc:
+        return SpecOutcome(
+            label=label,
+            status="error",
+            behaviors=behaviors,
+            error="TraceError: {}".format(exc),
+        )
+    outcome = validate_trace(log, report=artifacts.report)
+    return SpecOutcome(
+        label=label,
+        status="certified" if outcome.ok else "violating",
+        trace_hash=artifacts.trace_hash,
+        events_checked=outcome.events_checked,
+        invariants=outcome.invariants_violated(),
+        violations=[
+            {
+                "invariant": v.invariant,
+                "seq": v.seq,
+                "t": v.t,
+                "message": v.message,
+            }
+            for v in outcome.violations
+        ],
+        behaviors=behaviors,
+    )
+
+
+def run_spec(
+    spec: FuzzSpec,
+    cache: Union[None, bool, ResultCache] = True,
+) -> SpecOutcome:
+    """Run one spec in-process (read-through cached) and classify it.
+
+    Run failures become ``error`` outcomes instead of propagating: the
+    shrinker routinely produces infeasible candidates (e.g. a cluster
+    too small for its fleet) and must observe them as non-reproducing,
+    not crash.
+    """
+    try:
+        scenario = spec.scenario_spec()
+        artifacts = run_scenarios([scenario], workers=1, cache=cache)[0]
+    # The oracle's contract is to *classify* arbitrary run failures as
+    # outcomes (shrink candidates are allowed to be infeasible), so the
+    # broad catch is the feature here, not an accident.
+    except Exception as exc:  # reprolint: disable=RL006
+        return SpecOutcome(
+            label=spec.label,
+            status="error",
+            error="{}: {}".format(type(exc).__name__, exc),
+        )
+    return classify_artifacts(spec.label, artifacts)

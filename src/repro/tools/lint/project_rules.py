@@ -44,6 +44,7 @@ SIM_PACKAGES: Tuple[str, ...] = (
     "power",
     "placement",
     "telemetry",
+    "fuzz",
     "workload",
     "sim",
 )

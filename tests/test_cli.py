@@ -186,3 +186,123 @@ class TestTrace:
         code = main(["trace", "S3-PM", str(tmp_path / "x.jsonl")])
         assert code == 2
         capsys.readouterr()
+
+    def test_trace_check_json_payload(self, tmp_path, capsys):
+        import json as json_mod
+
+        target = tmp_path / "t.jsonl"
+        main(["trace", "S3-PM", "--out", str(target)] + self.SMALL)
+        capsys.readouterr()
+        code = main(["trace", "check", str(target), "--json"])
+        assert code == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["path"] == str(target)
+
+
+class TestVersionedJson:
+    SMALL = ["--hosts", "3", "--vms", "6", "--hours", "1", "--seed", "2"]
+
+    def test_faults_json_carries_version_and_seed(self, capsys):
+        import json as json_mod
+
+        import repro
+
+        code = main(
+            ["faults", "S3-PM", "--rate", "0,0.1", "--no-cache", "--json"]
+            + self.SMALL
+        )
+        assert code == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["version"] == repro.__version__
+        assert payload["seed"] == 2
+        assert payload["rates"] == [0.0, 0.1]
+        assert len(payload["results"]) == 2
+
+    def test_chaos_json_carries_version_seed_and_hash(self, capsys):
+        import json as json_mod
+
+        import repro
+
+        code = main(["chaos", "S3-PM", "--json"] + self.SMALL)
+        assert code == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["version"] == repro.__version__
+        assert payload["seed"] == 2
+        assert len(payload["trace_hash"]) == 64
+        assert "trace_check" in payload
+
+
+class TestFuzz:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.action == "campaign"
+        assert args.campaign == 100
+        assert args.seed == 0
+
+    def test_small_campaign_json_is_deterministic(self, capsys):
+        import json as json_mod
+
+        code = main(
+            ["fuzz", "--campaign", "3", "--seed", "11", "--no-cache", "--json"]
+        )
+        first = capsys.readouterr().out
+        assert code in (0, 1)
+        again = main(
+            ["fuzz", "--campaign", "3", "--seed", "11", "--no-cache", "--json"]
+        )
+        assert again == code
+        assert capsys.readouterr().out == first
+        payload = json_mod.loads(first)
+        assert payload["format"] == "repro-fuzz-summary-v1"
+        assert payload["campaign"] == 3
+        assert payload["seed"] == 11
+        assert len(payload["outcomes"]) == 3
+        assert set(payload["counts"]) == {"certified", "violating", "error"}
+
+    def test_campaign_summary_written_to_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        out = tmp_path / "summary.json"
+        code = main(
+            ["fuzz", "--campaign", "2", "--seed", "11", "--no-cache",
+             "--out", str(out)]
+        )
+        assert code in (0, 1)
+        capsys.readouterr()
+        payload = json_mod.loads(out.read_text())
+        assert payload["campaign"] == 2
+
+    def test_shrink_corpus_entry_is_fixpoint(self, capsys):
+        from pathlib import Path
+
+        corpus = sorted(
+            (Path(__file__).parent / "corpus").glob("behavior-*.json")
+        )
+        code = main(["fuzz", "shrink", str(corpus[0]), "--no-cache", "--json"])
+        assert code == 0
+        import json as json_mod
+
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+        assert payload["reductions"] == 0
+
+    def test_shrink_requires_a_path(self, capsys):
+        assert main(["fuzz", "shrink"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_shrink_rejects_garbage_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["fuzz", "shrink", str(bad)]) == 2
+        capsys.readouterr()
+
+    def test_unknown_action_is_usage_error(self, capsys):
+        assert main(["fuzz", "frobnicate"]) == 2
+        assert "unknown action" in capsys.readouterr().err
+
+    def test_stray_path_with_campaign_is_usage_error(self, tmp_path, capsys):
+        code = main(["fuzz", "campaign", str(tmp_path / "x.json")])
+        assert code == 2
+        capsys.readouterr()

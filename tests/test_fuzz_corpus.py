@@ -1,0 +1,83 @@
+"""Tier-1 replay of the shrunk-reproducer corpus (tests/corpus/*.json).
+
+Every corpus entry is a delta-debugged minimal spec plus the oracle that
+certified it.  Replaying asserts the entry still does what it was
+checked in for:
+
+* ``behavior`` entries must certify clean (trace replay passes every
+  validator invariant) **and** still exhibit the target behavior;
+* ``invariant`` entries are living bug reports — the target invariant
+  violation must still reproduce.  When a fix lands, this test fails on
+  the fixed entry, flagging it for promotion to a fixed-regression
+  assertion (flip its kind or remove it alongside the fix).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus_entry
+from repro.fuzz.oracle import run_spec
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_file_is_canonical(path):
+    entry = load_corpus_entry(path)
+    assert entry.dumps() == path.read_text()
+    assert entry.note, "corpus entries document why they are interesting"
+    assert entry.origin, "corpus entries record their provenance"
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_entry_replays(path):
+    entry = load_corpus_entry(path)
+    outcome = run_spec(entry.spec, cache=False)
+    assert outcome.status != "error", outcome.error
+    ids = outcome.outcome_ids()
+    assert entry.target in ids, (
+        "corpus entry {} no longer reproduces {!r} (got {}); if a fix "
+        "landed, promote or remove the entry".format(
+            path.name, entry.target, sorted(ids)
+        )
+    )
+    if entry.kind == "behavior":
+        assert outcome.ok, (
+            "behavior entry {} must certify clean but violated {}".format(
+                path.name, outcome.invariants
+            )
+        )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_entry_round_trips_through_trace_check(path):
+    # The full CLI-equivalent path: run traced, write JSONL, re-validate
+    # the written artifact from scratch (what `repro trace check` does).
+    from repro.telemetry.trace import parse_trace
+    from repro.telemetry.validate import validate_trace
+
+    entry = load_corpus_entry(path)
+    artifacts = entry.spec.scenario_spec().run()
+    assert artifacts.trace_jsonl is not None
+    log = parse_trace(artifacts.trace_jsonl)
+    outcome = validate_trace(log, report=artifacts.report)
+    if entry.kind == "behavior":
+        assert outcome.ok
+    else:
+        assert entry.target in outcome.invariants_violated()
+
+
+def test_corpus_rejects_foreign_documents(tmp_path):
+    from repro.fuzz.spec import SpecError
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"format": "something-else", "spec": {}}))
+    with pytest.raises(SpecError, match="format"):
+        load_corpus_entry(bogus)
