@@ -8,6 +8,8 @@ Gives operators the paper's experiments without writing Python::
     python -m repro.cli faults S3-PM --rate 0,0.05,0.1,0.2 --mttr-h 4
     python -m repro.cli chaos S3-PM --migration-fail-rate 0.1 \
         --telemetry-staleness-s 60
+    python -m repro.cli chaos S3-PM --plane neat --plane-delay-s 120 \
+        --plane-dropout 0.2
     python -m repro.cli fuzz --campaign 100 --seed 7 --json
     python -m repro.cli fuzz shrink tests/corpus/behavior-safe-mode.json
     python -m repro.cli policies
@@ -69,6 +71,27 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         help="probability a wake attempt fails (fault injection)",
     )
     parser.add_argument(
+        "--plane",
+        choices=["centralized", "neat"],
+        default="centralized",
+        help="management-plane architecture: the monolithic decision loop "
+        "or the decentralized detector/arbiter split (default: centralized)",
+    )
+    parser.add_argument(
+        "--plane-delay-s",
+        type=float,
+        default=0.0,
+        help="neat mode: delivery delay of the detector request channel "
+        "in seconds (default: 0)",
+    )
+    parser.add_argument(
+        "--plane-dropout",
+        type=float,
+        default=0.0,
+        help="neat mode: probability a detector report is lost in the "
+        "request channel (default: 0)",
+    )
+    parser.add_argument(
         "--timeline",
         action="store_true",
         help="print demand / active-host / power sparklines",
@@ -91,6 +114,18 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         help="where --profile writes its machine-readable artifact "
         "(top-25 cumulative functions; default: %(default)s)",
     )
+
+
+def _plane_config(config, args: argparse.Namespace):
+    """Apply the ``--plane`` override family to a policy preset."""
+    overrides = {}
+    if args.plane != config.plane:
+        overrides["plane"] = args.plane
+    if args.plane_delay_s > 0:
+        overrides["neat_request_delay_s"] = args.plane_delay_s
+    if args.plane_dropout > 0:
+        overrides["neat_request_dropout"] = args.plane_dropout
+    return config.with_overrides(**overrides) if overrides else config
 
 
 def _scenario_kwargs(args: argparse.Namespace) -> dict:
@@ -170,7 +205,7 @@ def _profiled(fn, json_path: Optional[str] = None):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    config = policy_by_name(args.policy)
+    config = _plane_config(policy_by_name(args.policy), args)
     kwargs = _scenario_kwargs(args)
     if args.profile:
         result = _profiled(
@@ -194,7 +229,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
         "AlwaysOn", "S5-PM", "S3-PM", "Hybrid",
     ]
     specs = [
-        ScenarioSpec(policy_by_name(name.strip()), kwargs=dict(kwargs))
+        ScenarioSpec(
+            _plane_config(policy_by_name(name.strip()), args),
+            kwargs=dict(kwargs),
+        )
         for name in names
     ]
     workers = 1 if args.profile else args.workers
@@ -360,6 +398,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    config = _plane_config(config, args)
     kwargs = _scenario_kwargs(args)
     result = run_scenario(config, trace=True, **kwargs)
     buf = result.trace
@@ -404,6 +443,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if not rates or not all(0.0 <= r < 1.0 for r in rates):
         print("repro faults: rates must lie in [0, 1)", file=sys.stderr)
         return 2
+    config = _plane_config(config, args)
     kwargs = _scenario_kwargs(args)
     kwargs.pop("fault_model", None)  # the sweep owns the fault model
     repair = RepairModel(mttr_s=args.mttr_h * 3600.0) if args.mttr_h > 0 else None
@@ -487,6 +527,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print("repro chaos: --telemetry-dropout must lie in [0, 1)",
               file=sys.stderr)
         return 2
+    config = _plane_config(config, args)
     kwargs = _scenario_kwargs(args)
     kwargs.pop("fault_model", None)  # chaos owns the fault model
     if args.migration_fail_rate > 0 or args.wake_failure_rate > 0:

@@ -18,6 +18,8 @@ Entry points:
 from repro.core.cache import ResultCache, Uncacheable, scenario_digest
 from repro.core.config import ManagerConfig
 from repro.core.manager import ManagementLog, PowerAwareManager
+from repro.core.plane.actuator import WakeArbiter
+from repro.core.plane.neat import NeatManager
 from repro.core.parallel import (
     ScenarioArtifacts,
     ScenarioSpec,
@@ -48,6 +50,7 @@ __all__ = [
     "HistoryPredictor",
     "ManagementLog",
     "ManagerConfig",
+    "NeatManager",
     "PeakWindowPredictor",
     "POLICIES",
     "PowerAwareManager",
@@ -57,6 +60,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "Uncacheable",
+    "WakeArbiter",
     "always_on",
     "hybrid_policy",
     "make_predictor",

@@ -45,7 +45,9 @@ from typing import Any, Dict, Iterable, Optional, Union
 #: 3: report.extra gained the degraded-plane counters (migrations_started/
 #:    completed/aborted/failed, migration_retries, safe_mode_enters/exits,
 #:    telemetry_dropped).
-CACHE_SCHEMA = 3
+#: 4: report.extra gained the management-plane counters (wake_rejections,
+#:    detector_reports, detector_reports_dropped).
+CACHE_SCHEMA = 4
 
 #: Every counter key ``run_scenario`` writes into ``report.extra``.
 #:
@@ -65,6 +67,7 @@ EXTRA_FIELDS = (
     "pending_admissions_end",
     "wake_failures",
     "wake_retries",
+    "wake_rejections",
     "blacklists",
     "escalations",
     "hosts_repaired",
@@ -79,6 +82,8 @@ EXTRA_FIELDS = (
     "safe_mode_enters",
     "safe_mode_exits",
     "telemetry_dropped",
+    "detector_reports",
+    "detector_reports_dropped",
     "violation_gold",
     "violation_silver",
     "violation_bronze",

@@ -116,6 +116,20 @@ class ManagerConfig:
     #: the failure rate has fallen to half the entry threshold (and the
     #: telemetry age back under its limit).
     safe_mode_hold_s: float = 900.0
+    #: Management-plane architecture (see :mod:`repro.core.plane`):
+    #: "centralized" plans on the telemetry view directly; "neat" runs
+    #: the OpenStack-Neat-style split — per-host local detectors feeding
+    #: a global arbiter through a delayed, lossy request channel.
+    plane: str = "centralized"
+    #: Neat-mode local detector thresholds: a host flags itself
+    #: underloaded below / overloaded above these utilization fractions.
+    neat_underload_threshold: float = 0.3
+    neat_overload_threshold: float = 0.9
+    #: Neat-mode request channel: delivery delay and i.i.d. report loss
+    #: between local detectors and the global arbiter.  The zero/zero
+    #: default makes fault-free neat runs byte-identical to centralized.
+    neat_request_delay_s: float = 0.0
+    neat_request_dropout: float = 0.0
 
     def __post_init__(self) -> None:
         if self.period_s <= 0 or self.watchdog_period_s <= 0:
@@ -185,6 +199,16 @@ class ManagerConfig:
             raise ValueError("safe_mode_telemetry_age_s must be positive when set")
         if self.safe_mode_hold_s <= 0:
             raise ValueError("safe_mode_hold_s must be positive")
+        if self.plane not in ("centralized", "neat"):
+            raise ValueError("plane must be 'centralized' or 'neat'")
+        if not 0.0 <= self.neat_underload_threshold < self.neat_overload_threshold:
+            raise ValueError(
+                "neat thresholds must satisfy 0 <= underload < overload"
+            )
+        if self.neat_request_delay_s < 0:
+            raise ValueError("neat_request_delay_s must be >= 0")
+        if not 0.0 <= self.neat_request_dropout < 1.0:
+            raise ValueError("neat_request_dropout must be in [0, 1)")
 
     def with_overrides(self, **kwargs: Any) -> "ManagerConfig":
         """A copy with selected fields replaced (used by sweeps)."""

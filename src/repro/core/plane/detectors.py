@@ -1,0 +1,117 @@
+"""Neat-mode local detectors and their lossy request channel.
+
+OpenStack-Neat-style decomposition: each host runs a *local* detector
+that classifies its own utilization (underload/overload) against locally
+observed demand, and emits a compact :class:`DetectorReport` toward the
+global arbiter.  Reports travel through a :class:`RequestChannel` that
+models the management network — a fixed delivery delay plus i.i.d.
+dropout — so the global view is assembled from whatever actually
+arrived, exactly like the stale-telemetry feed the centralized plane
+plans on.
+
+Determinism: dropout draws come from the registered ``plane`` RNG
+stream, qualified by the detector round index, so runs are reproducible
+and independent of every other stochastic subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.core.seeding import stream_rng
+
+if TYPE_CHECKING:
+    from repro.datacenter.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class DetectorReport:
+    """One host's self-observation at one detector round."""
+
+    host: str
+    taken_at: float
+    demand_cores: float
+    cores: float
+    underloaded: bool
+    overloaded: bool
+
+
+class LocalDetectorBank:
+    """Per-host underload/overload classification on local state.
+
+    The bank reads each host's *own* demand (no cluster aggregate), which
+    is the point of the decentralized plane: detection scales per host
+    and survives a degraded global view.  The overload flag is advisory
+    context for the arbiter — the watchdog's live host-overload walk
+    remains the reactive wake path in both plane modes.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        underload_threshold: float,
+        overload_threshold: float,
+    ) -> None:
+        self.cluster = cluster
+        self.underload_threshold = underload_threshold
+        self.overload_threshold = overload_threshold
+
+    def scan(self, now: float) -> List[DetectorReport]:
+        reports: List[DetectorReport] = []
+        for host in self.cluster.active_hosts():
+            demand = host.demand_cores(now)
+            util = demand / host.cores if host.cores > 0 else 0.0
+            reports.append(
+                DetectorReport(
+                    host=host.name,
+                    taken_at=now,
+                    demand_cores=demand,
+                    cores=host.cores,
+                    underloaded=util < self.underload_threshold,
+                    overloaded=util > self.overload_threshold,
+                )
+            )
+        return reports
+
+
+class RequestChannel:
+    """Delayed, lossy transport from local detectors to the arbiter."""
+
+    def __init__(
+        self, delay_s: float, dropout_rate: float, seed: int
+    ) -> None:
+        self.delay_s = delay_s
+        self.dropout_rate = dropout_rate
+        self.seed = seed
+        self._pending: List[Tuple[float, DetectorReport]] = []
+
+    def send(
+        self, reports: List[DetectorReport], round_index: int, now: float
+    ) -> int:
+        """Enqueue a round's reports; returns how many the channel lost."""
+        dropped = 0
+        if self.dropout_rate > 0.0 and reports:
+            rng = stream_rng("plane", self.seed, round_index)
+            draws = rng.random(len(reports))
+            kept = [
+                r for r, d in zip(reports, draws) if d >= self.dropout_rate
+            ]
+            dropped = len(reports) - len(kept)
+            reports = kept
+        deliver_at = now + self.delay_s
+        for report in reports:
+            self._pending.append((deliver_at, report))
+        return dropped
+
+    def deliver(self, now: float) -> List[DetectorReport]:
+        """Pop every report whose delivery time has arrived."""
+        ready: List[DetectorReport] = []
+        still: List[Tuple[float, DetectorReport]] = []
+        for deliver_at, report in self._pending:
+            if deliver_at <= now + 1e-12:
+                ready.append(report)
+            else:
+                still.append((deliver_at, report))
+        self._pending = still
+        return ready

@@ -1,0 +1,65 @@
+"""The management plane's shared action ledger.
+
+Every plane component — the global arbiter, the wake actuator, the
+safe-mode governor, the neat-mode detectors — books its actions into one
+:class:`ManagementLog`, so the overhead experiments and the scenario
+runner read a single source of truth regardless of which plane
+architecture (``centralized`` or ``neat``) produced the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class ManagementLog:
+    """Timestamped action ledger; the overhead experiments read this."""
+
+    events: List[Tuple[float, str, str]] = field(default_factory=list)
+    wakes_requested: int = 0
+    wake_failures: int = 0
+    wake_retries: int = 0
+    blacklists: int = 0
+    escalations: int = 0
+    hosts_repaired: int = 0
+    retires_unknown: int = 0
+    migration_retries: int = 0
+    safe_mode_enters: int = 0
+    safe_mode_exits: int = 0
+    reactive_wakes: int = 0
+    cap_deferrals: int = 0
+    #: Wake requests structurally rejected by the :class:`WakeArbiter`
+    #: because an ``off->active`` transition for the same host was still
+    #: in flight (the overlapping-wake race, fixed by construction).
+    wake_rejections: int = 0
+    parks_started: int = 0
+    parks_completed: int = 0
+    evacuations_started: int = 0
+    evacuations_aborted: int = 0
+    admissions: int = 0
+    admissions_queued: int = 0
+    admissions_rejected: int = 0
+    admissions_timed_out: int = 0
+    balancer_moves: int = 0
+    #: Neat mode only: local detector reports emitted / lost in the
+    #: delayed, lossy request channel on their way to the global arbiter.
+    detector_reports: int = 0
+    detector_reports_dropped: int = 0
+    #: Seconds each queued admission waited for capacity.
+    admission_waits_s: List[float] = field(default_factory=list)
+    #: Structured watchdog interventions: ``(t, trigger, shortfall_cores)``
+    #: where trigger is ``"aggregate"`` or ``"host-overload"``.  The bare
+    #: ``reactive-wake`` text lines in :attr:`events` carry the same data
+    #: only as prose; tests and the trace layer read this field.
+    reactive_wake_events: List[Tuple[float, str, float]] = field(
+        default_factory=list
+    )
+
+    def record(self, t: float, kind: str, detail: str = "") -> None:
+        self.events.append((t, kind, detail))
+
+    def mean_admission_wait_s(self) -> float:
+        waits = self.admission_waits_s
+        return sum(waits) / len(waits) if waits else 0.0

@@ -1,0 +1,130 @@
+"""The decentralized ("neat") management plane.
+
+OpenStack-Neat-style split of the decision loop: per-host local
+detectors classify their own utilization and push
+:class:`~repro.core.plane.detectors.DetectorReport` packets through a
+delayed, lossy :class:`~repro.core.plane.detectors.RequestChannel`; the
+global arbiter assembles its sizing picture from whatever reports
+actually arrived.  Three regimes fall out:
+
+* **healthy** — every active host's report for the current round has
+  been delivered (the default zero-delay, zero-dropout channel): the
+  global picture equals the centralized observation and the plane is
+  byte-identical to ``plane="centralized"``;
+* **degraded** — some reports are late or lost: demand is summed over
+  the newest report per host, the staleness fed to the safe-mode
+  governor is the *oldest* such report's age, and the shrink path is
+  restricted to hosts with fresh underload evidence (never park a host
+  the plane cannot see);
+* **cold start** — nothing has ever arrived: fall back to the
+  centralized observation, exactly like the telemetry feed's cold-start
+  path.
+
+The watchdog is untouched in neat mode — reacting to live per-host
+overload *is* the local reactive path, in both architectures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.config import ManagerConfig
+    from repro.datacenter.cluster import Cluster
+    from repro.datacenter.host import Host
+    from repro.migration.engine import MigrationEngine
+    from repro.sim.environment import Environment
+    from repro.telemetry.trace import TraceBuffer
+    from repro.telemetry.view import TelemetryFeed
+
+from repro.core.plane.arbiter import PowerAwareManager
+from repro.core.plane.detectors import (
+    DetectorReport,
+    LocalDetectorBank,
+    RequestChannel,
+)
+
+
+class NeatManager(PowerAwareManager):
+    """Global arbiter planning on local detector reports."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: "Cluster",
+        engine: "MigrationEngine",
+        config: Optional["ManagerConfig"] = None,
+        trace: Optional["TraceBuffer"] = None,
+        telemetry: Optional["TelemetryFeed"] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(env, cluster, engine, config, trace, telemetry)
+        cfg = self.config
+        self.detectors = LocalDetectorBank(
+            cluster,
+            cfg.neat_underload_threshold,
+            cfg.neat_overload_threshold,
+        )
+        self.channel = RequestChannel(
+            cfg.neat_request_delay_s, cfg.neat_request_dropout, seed
+        )
+        self._round = 0
+        #: Newest delivered report per host (the arbiter's working set).
+        self._last_seen: Dict[str, DetectorReport] = {}
+        #: True while the current consolidation round plans on stale
+        #: reports; gates the conservative park restriction.
+        self._degraded_round = False
+
+    # ------------------------------------------------------------------
+    # Plane hooks
+    # ------------------------------------------------------------------
+
+    def _plan_observation(self, now: float) -> Tuple[float, float]:
+        """Assemble the global picture from delivered detector reports."""
+        reports = self.detectors.scan(now)
+        self.log.detector_reports += len(reports)
+        dropped = self.channel.send(reports, self._round, now)
+        self.log.detector_reports_dropped += dropped
+        self._round += 1
+        for report in self.channel.deliver(now):
+            prev = self._last_seen.get(report.host)
+            if prev is None or report.taken_at >= prev.taken_at:
+                self._last_seen[report.host] = report
+        active = [h.name for h in self.cluster.active_hosts()]
+        fresh = all(
+            name in self._last_seen
+            and self._last_seen[name].taken_at == now
+            for name in active
+        )
+        if fresh:
+            # Complete current-round coverage: the decentralized picture
+            # carries no less information than the centralized one, so
+            # plan on the same observation path (bit-identical traces).
+            self._degraded_round = False
+            return self._observe(now)
+        known = [
+            self._last_seen[name]
+            for name in active
+            if name in self._last_seen
+        ]
+        if not known:
+            # Cold start: no report has ever made it through the channel.
+            self._degraded_round = False
+            return self._observe(now)
+        self._degraded_round = True
+        demand = math.fsum(r.demand_cores for r in known)
+        age = now - min(r.taken_at for r in known)
+        return demand, age
+
+    def _park_candidates(self) -> List["Host"]:
+        candidates = super()._park_candidates()
+        if not self._degraded_round:
+            return candidates
+        # Degraded round: only park on fresh *local* underload evidence.
+        reported = self._last_seen
+        return [
+            h
+            for h in candidates
+            if h.name in reported and reported[h.name].underloaded
+        ]

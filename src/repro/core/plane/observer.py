@@ -1,0 +1,69 @@
+"""The management plane's eyes: stale-telemetry cluster observation.
+
+The observer is the only plane component that reads cluster state for
+*planning* purposes.  It wraps the :class:`~repro.telemetry.view.TelemetryFeed`
+(delayed, lossy snapshots) so the arbiter and the safe-mode governor
+consume one consistent picture — and one honest staleness figure —
+instead of each reaching into the cluster directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.datacenter.cluster import Cluster
+    from repro.migration.engine import MigrationEngine
+    from repro.telemetry.view import TelemetryFeed
+
+
+class ClusterObserver:
+    """Single source of the (possibly stale) picture the plane plans on."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        engine: "MigrationEngine",
+        telemetry: Optional["TelemetryFeed"],
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.telemetry = telemetry
+
+    def observe(self, now: float) -> Tuple[float, float]:
+        """``(demand_cores, telemetry_age_s)`` the manager plans with.
+
+        Without a telemetry feed the manager reads ground truth (age
+        zero), exactly as before.  With one, sizing decisions use the
+        newest *visible* snapshot — which may be arbitrarily stale under
+        the staleness model — so grow/shrink can be wrong-but-plausible;
+        the live per-host checks elsewhere (watchdog overload trigger,
+        stale-plan cancellation, admission fitting) reconcile the plan
+        with reality when they disagree.
+        """
+        if self.telemetry is None:
+            return self.cluster.demand_cores(now), 0.0
+        view = self.telemetry.view(now)
+        if view is None:
+            # Cold start: nothing has arrived yet.  Plan on ground truth
+            # but report the age honestly so the governor can react.
+            return self.cluster.demand_cores(now), now
+        return view.demand_cores, view.age_s(now)
+
+    def observed_failure_rate(
+        self, now: float, window_s: float
+    ) -> Tuple[float, int]:
+        """``(failure_fraction, failures)`` over the trailing window.
+
+        The engine appends records in finish-time order, so one backward
+        scan bounded by the window suffices.
+        """
+        failed = 0
+        total = 0
+        for record in reversed(self.engine.records):
+            if record.start_s + record.duration_s < now - window_s:
+                break
+            total += 1
+            if record.failed:
+                failed += 1
+        return (failed / total if total else 0.0, failed)

@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.core.config import ManagerConfig
 from repro.core.manager import PowerAwareManager
+from repro.core.plane.neat import NeatManager
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.faults import FaultModel, MigrationFaultInjector
 from repro.datacenter.vm import Priority, VM
@@ -214,9 +215,16 @@ def run_scenario(
     if telemetry_model is not None:
         feed = TelemetryFeed(telemetry_model, seed=seed)
     engine = MigrationEngine(env, model=migration_model, trace=buf, faults=injector)
-    manager = PowerAwareManager(
-        env, cluster, engine, config, trace=buf, telemetry=feed
-    )
+    manager: PowerAwareManager
+    if config.plane == "neat":
+        manager = NeatManager(
+            env, cluster, engine, config, trace=buf, telemetry=feed,
+            seed=seed,
+        )
+    else:
+        manager = PowerAwareManager(
+            env, cluster, engine, config, trace=buf, telemetry=feed
+        )
     sampler = ClusterSampler(
         env,
         cluster,
@@ -274,6 +282,7 @@ def run_scenario(
             "pending_admissions_end": float(manager.pending_admissions),
             "wake_failures": float(manager.log.wake_failures),
             "wake_retries": float(manager.log.wake_retries),
+            "wake_rejections": float(manager.log.wake_rejections),
             "blacklists": float(manager.log.blacklists),
             "escalations": float(manager.log.escalations),
             "hosts_repaired": float(manager.log.hosts_repaired),
@@ -288,6 +297,10 @@ def run_scenario(
             "safe_mode_enters": float(manager.log.safe_mode_enters),
             "safe_mode_exits": float(manager.log.safe_mode_exits),
             "telemetry_dropped": float(feed.dropped if feed is not None else 0),
+            "detector_reports": float(manager.log.detector_reports),
+            "detector_reports_dropped": float(
+                manager.log.detector_reports_dropped
+            ),
             "violation_gold": violation_by_class[Priority.GOLD],
             "violation_silver": violation_by_class[Priority.SILVER],
             "violation_bronze": violation_by_class[Priority.BRONZE],

@@ -31,6 +31,7 @@ RNG_STREAMS = {
     "migration": "repro.datacenter.faults",
     "telemetry": "repro.telemetry.view",
     "fuzz": "repro.fuzz.generate",
+    "plane": "repro.core.plane.detectors",
 }
 
 

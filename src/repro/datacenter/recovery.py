@@ -38,6 +38,13 @@ class HostWakeRecord:
     last_failure_t: float = _NEVER
     backoff_until: float = _NEVER
     blacklisted_until: float = _NEVER
+    #: Wake attempts *dispatched* since the last success/repair.  Distinct
+    #: from ``consecutive_failures``: an attempt is booked when the wake
+    #: is requested, a failure only when it resolves.  Attempt numbering
+    #: reads ``max(failures, attempts_started) + 1`` so it stays strictly
+    #: monotone even when several requests collapse into (or race with)
+    #: one in-flight transition.
+    attempts_started: int = 0
 
 
 class WakeScoreboard:
@@ -77,8 +84,14 @@ class WakeScoreboard:
         return self.record_for(host).consecutive_failures
 
     def attempt(self, host: str) -> int:
-        """1-based number of the *next* wake attempt for ``host``."""
-        return self.failures(host) + 1
+        """1-based number of the *next* wake attempt for ``host``.
+
+        Monotone per host: counts dispatched attempts as well as resolved
+        failures, so a request that races with an in-flight wake still
+        sees a strictly larger number than the attempt it collapsed into.
+        """
+        record = self.record_for(host)
+        return max(record.consecutive_failures, record.attempts_started) + 1
 
     def backoff_s(self, host: str) -> float:
         """Enforced minimum delay before the next attempt (0 when clean)."""
@@ -101,6 +114,19 @@ class WakeScoreboard:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+
+    def begin_attempt(self, host: str) -> int:
+        """Book the dispatch of a wake attempt; returns its 1-based number.
+
+        Called exactly once per *dispatched* wake (the WakeArbiter rejects
+        overlapping requests before they get here), so the returned
+        numbers are strictly monotone until a success or repair resets
+        the record.
+        """
+        record = self._records.setdefault(host, HostWakeRecord())
+        number = max(record.consecutive_failures, record.attempts_started) + 1
+        record.attempts_started = number
+        return number
 
     def record_failure(self, host: str, now: float) -> Optional[float]:
         """Book one failed wake attempt finishing at ``now``.

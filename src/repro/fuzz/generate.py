@@ -87,6 +87,9 @@ def generate_spec(campaign_seed: int, index: int) -> FuzzSpec:
         headroom=round(float(rng.uniform(0.05, 0.30)), 4),
         park_delay_rounds=int(rng.integers(0, 5)),
         max_parks_per_round=int(rng.integers(1, 5)),
+        # Sample both management-plane architectures so the nightly
+        # campaign exercises the decentralized plane too.
+        plane="neat" if rng.random() < 0.5 else "centralized",
     )
 
     # -- horizon / epoch ------------------------------------------------

@@ -43,7 +43,8 @@ from repro.telemetry.view import StalenessModel
 from repro.workload.fleet import FleetSpec
 
 #: Grammar version; bumped whenever the JSON encoding changes meaning.
-SPEC_VERSION = 1
+#: 2: PolicyShape gained the management-plane axis (``plane``).
+SPEC_VERSION = 2
 
 _T = TypeVar("_T")
 
@@ -141,6 +142,7 @@ class PolicyShape:
     headroom: float = 0.10
     park_delay_rounds: int = 1
     max_parks_per_round: int = 2
+    plane: str = "centralized"
 
     def __post_init__(self) -> None:
         if self.preset not in POLICIES:
@@ -155,12 +157,15 @@ class PolicyShape:
             raise ValueError("park_delay_rounds must be >= 0")
         if self.max_parks_per_round < 1:
             raise ValueError("max_parks_per_round must be >= 1")
+        if self.plane not in ("centralized", "neat"):
+            raise ValueError("plane must be 'centralized' or 'neat'")
 
     def manager_config(self) -> ManagerConfig:
         return policy_by_name(self.preset).with_overrides(
             headroom=self.headroom,
             park_delay_rounds=self.park_delay_rounds,
             max_parks_per_round=self.max_parks_per_round,
+            plane=self.plane,
         )
 
 

@@ -18,6 +18,10 @@ stable id so tests and CI output can pinpoint which property broke:
     end-of-run ``host-final`` record.
 ``wake-from-active``
     A transition to ACTIVE may only start from a parked state.
+``wake-exclusivity``
+    At most one open ``*->active`` transition per host at any instant:
+    a second wake dispatched while one is in flight is exactly the
+    overlapping-wake race the WakeArbiter rejects structurally.
 ``transition-latency``
     A transition's wall-clock span must equal its *sampled* latency —
     the resume latency is sampled exactly once per wake.
@@ -128,7 +132,9 @@ _ACTIVE = "active"
 #: it) is a lint failure, not a silent coverage hole.
 EVENT_COVERAGE = {
     "host-init": ("sequence", "state-machine"),
-    "transition-start": ("state-machine", "transition-latency"),
+    "transition-start": (
+        "state-machine", "transition-latency", "wake-exclusivity",
+    ),
     "transition-end": ("state-machine", "transition-latency"),
     "fault-injected": ("fault-accounting",),
     "migration-start": ("migration-conservation",),
@@ -377,6 +383,10 @@ def validate_trace(
                      "running".format(ev.host, ev.src, ev.dst,
                                       state.open_transition[1].src,
                                       state.open_transition[1].dst))
+                if ev.dst == _ACTIVE and state.open_transition[1].dst == _ACTIVE:
+                    flag("wake-exclusivity", seq, ev.t,
+                         "{}: second {}->{} wake started while one is "
+                         "in flight".format(ev.host, ev.src, ev.dst))
             if ev.src != state.state:
                 flag("state-machine", seq, ev.t,
                      "{}: transition claims src {} but tracked state is "

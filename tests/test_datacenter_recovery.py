@@ -95,6 +95,35 @@ class TestWakeScoreboard:
         sb.record_repair("h0")
         assert sb.eligible("h0", 5.0)
 
+    def test_attempt_numbers_are_monotone_across_dispatches(self):
+        # Regression for the wake-backoff "retry attempt did not increase"
+        # violation: when several wake requests collapse into one in-flight
+        # transition, numbering must still advance per *dispatch*, not per
+        # resolved failure.  Fails on the pre-arbiter scoreboard, where
+        # attempt() read failures+1 and two dispatches without a resolved
+        # failure in between both claimed attempt 1.
+        sb = WakeScoreboard(backoff_base_s=60.0, blacklist_after_failures=99)
+        assert sb.attempt("h0") == 1
+        assert sb.begin_attempt("h0") == 1
+        # Second dispatch before the first resolves: strictly larger.
+        assert sb.attempt("h0") == 2
+        assert sb.begin_attempt("h0") == 2
+        # The first dispatch now resolves as a failure; numbering does not
+        # fall back below what was already handed out.
+        sb.record_failure("h0", 100.0)
+        assert sb.attempt("h0") == 3
+        assert sb.begin_attempt("h0") == 3
+        # Once every dispatch has resolved (3 dispatched, 3 failed) the
+        # numbering matches the historical failures+1 read exactly.
+        sb.record_failure("h0", 200.0)
+        sb.record_failure("h0", 300.0)
+        assert sb.failures("h0") == 3
+        assert sb.attempt("h0") == sb.failures("h0") + 1
+        # Success wipes the record: numbering restarts at 1.
+        sb.record_success("h0")
+        assert sb.attempt("h0") == 1
+        assert sb.begin_attempt("h0") == 1
+
     def test_validation(self):
         with pytest.raises(ValueError):
             WakeScoreboard(backoff_base_s=0.0)
