@@ -24,6 +24,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_json
 from repro.core import (
     ResultCache,
     ScenarioSpec,
@@ -115,7 +116,7 @@ def main() -> int:
         "parallel_matches_serial": identical,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(out, payload)
     print("wrote {}".format(out))
 
     ok = (

@@ -35,6 +35,7 @@ import resource
 import sys
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_json
 from repro.core import run_scenario, s3_policy
 from repro.workload import FleetSpec
 
@@ -198,7 +199,7 @@ def main() -> int:
         "points": points,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(out, payload)
     print("wrote {}".format(out))
 
     ok = speedup_500 >= TARGET_SPEEDUP_500 and all_exact

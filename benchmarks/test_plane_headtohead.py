@@ -38,6 +38,7 @@ import resource
 import sys
 from pathlib import Path
 
+from repro.core.atomicio import atomic_write_json
 from repro.core import run_scenario, s3_policy
 from repro.datacenter import (
     FaultModel,
@@ -227,7 +228,7 @@ def main() -> int:
         "points": points,
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_plane.json"
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(out, payload)
     print("wrote {}".format(out))
 
     ok = neat_exact and degraded_degraded and traced_certified

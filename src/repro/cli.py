@@ -31,6 +31,7 @@ from typing import List, Optional
 
 from repro.analysis import render_series, render_table
 from repro.core import ResultCache, ScenarioSpec, run_scenario, run_scenarios
+from repro.core.atomicio import atomic_write_json, atomic_write_text
 from repro.core.cache import default_cache_dir
 from repro.core.policies import POLICIES, policy_by_name
 from repro.datacenter import FaultModel, RepairModel
@@ -197,29 +198,118 @@ def _profiled(fn, json_path: Optional[str] = None):
                 for func, (cc, nc, tt, ct, _callers) in rows
             ],
         }
-        with open(json_path, "w") as fh:
-            json.dump(artifact, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(json_path, artifact)
         print("profile artifact: {}".format(json_path), file=sys.stderr)
     return out
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    config = _plane_config(policy_by_name(args.policy), args)
-    kwargs = _scenario_kwargs(args)
-    if args.profile:
-        result = _profiled(
-            lambda: run_scenario(config, **kwargs), json_path=args.profile_json
-        )
+    from repro.core import CheckpointError, resume_scenario
+
+    service_kwargs = dict(
+        checkpoint_every_s=args.checkpoint_every_s,
+        checkpoint_dir=args.checkpoint_dir,
+        stream=args.stream,
+    )
+    if args.resume:
+        # The checkpoint carries the full scenario (policy, fleet, RNG
+        # state); the scenario-shape flags are ignored on purpose so a
+        # resume cannot silently diverge from the run it continues.
+        runner = lambda: resume_scenario(args.resume, **service_kwargs)  # noqa: E731
     else:
-        result = run_scenario(config, **kwargs)
+        config = _plane_config(policy_by_name(args.policy), args)
+        kwargs = _scenario_kwargs(args)
+        kwargs.update(service_kwargs)
+        kwargs["bounded_series"] = args.bounded
+        runner = lambda: run_scenario(config, **kwargs)  # noqa: E731
+    try:
+        if args.profile:
+            result = _profiled(runner, json_path=args.profile_json)
+        else:
+            result = runner()
+    except (CheckpointError, OSError, ValueError) as exc:
+        print("repro run: {}".format(exc), file=sys.stderr)
+        return 2
+    if result.checkpoints is not None:
+        print(
+            "checkpoints: {} saved, {} boundary(ies) skipped, dir {}".format(
+                len(result.checkpoints.saved),
+                result.checkpoints.skipped,
+                result.checkpoints.directory,
+            ),
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(result.report.to_dict(), indent=2, sort_keys=True))
         return 0
     print(SimReport.header())
     print(result.report.row())
     if args.timeline:
-        _print_timeline(result)
+        try:
+            _print_timeline(result)
+        except RuntimeError as exc:
+            # Bounded series keep no samples — aggregates only.
+            print("repro run: no timeline: {}".format(exc), file=sys.stderr)
+    return 0
+
+
+def cmd_branch(args: argparse.Namespace) -> int:
+    """Fan a warm checkpoint out across policy variants."""
+    from repro.core import CheckpointError, branch_scenarios, read_manifest
+
+    try:
+        names = [n.strip() for n in args.policies.split(",") if n.strip()]
+        configs = [policy_by_name(name) for name in names]
+    except (KeyError, ValueError) as exc:
+        print(
+            "repro branch: unknown policy in {!r} (choose from {})".format(
+                args.policies, ", ".join(sorted(POLICIES))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if not configs:
+        print("repro branch: --policies must name at least one preset",
+              file=sys.stderr)
+        return 2
+    horizon_s = args.hours * 3600.0 if args.hours is not None else None
+    try:
+        manifest = read_manifest(args.checkpoint)
+        results = branch_scenarios(
+            args.checkpoint,
+            configs,
+            horizon_s=horizon_s,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
+    except (CheckpointError, OSError) as exc:
+        print("repro branch: {}".format(exc), file=sys.stderr)
+        return 2
+    reports = [artifacts.report for artifacts in results]
+    if args.json:
+        import repro
+
+        payload = {
+            "version": repro.__version__,
+            "checkpoint": str(args.checkpoint),
+            "checkpoint_sha256": manifest["sha256"],
+            "branched_at_s": manifest.get("sim_time_s"),
+            "results": [report.to_dict() for report in reports],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        "branching {} (t = {:.0f} s, parent policy {}) across {} variant(s)".format(
+            args.checkpoint,
+            manifest.get("sim_time_s", float("nan")),
+            manifest.get("policy", "?"),
+            len(configs),
+        ),
+        file=sys.stderr,
+    )
+    print(SimReport.header())
+    for report in reports:
+        print(report.row())
     return 0
 
 
@@ -629,8 +719,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         return 2
     payload = json.dumps(summary.to_json_dict(), indent=2, sort_keys=True)
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(payload + "\n")
+        atomic_write_text(args.out, payload + "\n")
         print("wrote campaign summary to {}".format(args.out), file=sys.stderr)
     if args.json:
         print(payload)
@@ -710,8 +799,7 @@ def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
         print("repro fuzz shrink: {}".format(exc), file=sys.stderr)
         return 2
     if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(result.spec.dumps())
+        atomic_write_text(args.out, result.spec.dumps())
         print("wrote shrunk spec to {}".format(args.out), file=sys.stderr)
     if args.json:
         print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
@@ -757,8 +845,84 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--policy", default="S3-PM", choices=sorted(POLICIES), help="policy preset"
     )
+    run_parser.add_argument(
+        "--checkpoint-every-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="write a crash-safe checkpoint every SECONDS of simulated "
+        "time (requires --checkpoint-dir)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for checkpoint files (ckpt-<sim-ms>.repro)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="FROM",
+        help="resume a previous run from this checkpoint file; the "
+        "scenario-shape flags (--policy/--hosts/...) are ignored — the "
+        "checkpoint defines the scenario",
+    )
+    run_parser.add_argument(
+        "--stream",
+        default=None,
+        metavar="PATH",
+        help="stream per-window metrics to this JSONL file as the run "
+        "progresses (service mode; survives crashes via --resume)",
+    )
+    run_parser.add_argument(
+        "--bounded",
+        action="store_true",
+        help="keep O(1) telemetry aggregates instead of full series "
+        "(long-horizon service mode; disables --timeline)",
+    )
     _add_scenario_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    branch_parser = sub.add_parser(
+        "branch",
+        help="fan a warm checkpoint out across policy variants "
+        "(what-if continuation from a mid-run snapshot)",
+    )
+    branch_parser.add_argument(
+        "checkpoint",
+        help="checkpoint file written by 'repro run --checkpoint-every-s'",
+    )
+    branch_parser.add_argument(
+        "--policies",
+        default="S3-PM,S5-PM,Hybrid",
+        help="comma-separated preset names to continue with "
+        "(default: %(default)s)",
+    )
+    branch_parser.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        help="extend the horizon to this many simulated hours "
+        "(default: the parent run's horizon)",
+    )
+    branch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool width for the fan-out (default: REPRO_WORKERS "
+        "or the CPU count)",
+    )
+    branch_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the scenario result cache",
+    )
+    branch_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the branch reports as JSON",
+    )
+    branch_parser.set_defaults(func=cmd_branch)
 
     compare_parser = sub.add_parser("compare", help="run several policies")
     compare_parser.add_argument(
@@ -1038,7 +1202,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # SIGINT, or SIGTERM remapped by the pool's graceful-signal
+        # shim: workers are already drained and partial artifacts
+        # discarded by the time this propagates.  130 = 128 + SIGINT,
+        # the shell convention for "killed by Ctrl-C".
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

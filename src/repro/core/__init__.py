@@ -16,6 +16,12 @@ Entry points:
 """
 
 from repro.core.cache import ResultCache, Uncacheable, scenario_digest
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
 from repro.core.config import ManagerConfig
 from repro.core.manager import ManagementLog, PowerAwareManager
 from repro.core.plane.actuator import WakeArbiter
@@ -23,6 +29,7 @@ from repro.core.plane.neat import NeatManager
 from repro.core.parallel import (
     ScenarioArtifacts,
     ScenarioSpec,
+    branch_scenarios,
     run_scenarios,
     snapshot_result,
 )
@@ -42,9 +49,15 @@ from repro.core.predictor import (
     ReactivePredictor,
     make_predictor,
 )
-from repro.core.runner import ScenarioResult, run_scenario
+from repro.core.runner import (
+    ScenarioResult,
+    branch_scenario,
+    resume_scenario,
+    run_scenario,
+)
 
 __all__ = [
+    "CheckpointError",
     "DemandPredictor",
     "EwmaPredictor",
     "HistoryPredictor",
@@ -62,13 +75,19 @@ __all__ = [
     "Uncacheable",
     "WakeArbiter",
     "always_on",
+    "branch_scenario",
+    "branch_scenarios",
     "hybrid_policy",
+    "load_checkpoint",
     "make_predictor",
     "policy_by_name",
+    "read_manifest",
+    "resume_scenario",
     "run_scenario",
     "run_scenarios",
     "s3_policy",
     "s5_policy",
+    "save_checkpoint",
     "scenario_digest",
     "snapshot_result",
 ]

@@ -33,7 +33,6 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
 from dataclasses import fields, is_dataclass
 from enum import Enum
 from pathlib import Path
@@ -47,7 +46,15 @@ from typing import Any, Dict, Iterable, Optional, Union
 #:    telemetry_dropped).
 #: 4: report.extra gained the management-plane counters (wake_rejections,
 #:    detector_reports, detector_reports_dropped).
-CACHE_SCHEMA = 4
+#: 5: entries gained the digest-framed on-disk layout (magic + sha256
+#:    over the pickle payload); pre-frame entries are unreadable.
+CACHE_SCHEMA = 5
+
+#: On-disk entry framing: magic line, sha256 hex of the payload, newline,
+#: pickle payload.  A read that fails any of these checks is *quarantined*
+#: (renamed aside for inspection), never trusted and never raised through
+#: to the caller — a torn cache entry must degrade to a cache miss.
+_ENTRY_MAGIC = b"REPROCACHE1\n"
 
 #: Every counter key ``run_scenario`` writes into ``report.extra``.
 #:
@@ -226,6 +233,7 @@ class ResultCache:
         self.root = Path(root).expanduser() if root else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         self._memory: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
@@ -235,20 +243,61 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / "{}.pkl".format(key)
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a torn/foreign entry aside so it never satisfies a read.
+
+        Renaming (rather than deleting) keeps the evidence for post-mortem
+        while guaranteeing the ``*.pkl`` glob and future ``get`` calls
+        skip it.  Rename failures fall back to best-effort unlink — a bad
+        entry must not survive under its original name.
+        """
+        self.quarantined += 1
+        try:
+            os.replace(path, path.with_suffix(".quarantine"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[Any]:
-        """Return the cached value for ``key``, or None."""
+        """Return the cached value for ``key``, or None.
+
+        Entries whose digest frame does not verify (torn write, bit rot,
+        or a pre-schema-5 file) are quarantined and reported as misses.
+        """
         if key in self._memory:
             self.hits += 1
             return self._memory[key]
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                data = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        if not data.startswith(_ENTRY_MAGIC):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        frame = data[len(_ENTRY_MAGIC):]
+        digest, sep, payload = frame.partition(b"\n")
+        if (
+            not sep
+            or len(digest) != 64
+            or hashlib.sha256(payload).hexdigest().encode("ascii") != digest
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            value = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
                 ValueError, ImportError):
-            # Missing, torn, or written by an incompatible code version:
-            # treat as a miss (a stale entry keyed by an old version hash
-            # is unreachable anyway).
+            # The bytes are exactly what was written (digest verified), so
+            # this is a code-version skew, not corruption: quarantine it
+            # all the same — it will never load here.
+            self._quarantine(path)
             self.misses += 1
             return None
         self._memory[key] = value
@@ -256,20 +305,13 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (atomic rename, crash-safe)."""
+        """Store ``value`` under ``key`` (digest-framed, atomic rename)."""
+        from repro.core.atomicio import atomic_write
+
         self._memory[key] = value
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        atomic_write(self._path(key), _ENTRY_MAGIC + digest + b"\n" + payload)
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -34,9 +34,12 @@ Typical use::
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Union
 
 if TYPE_CHECKING:
     from repro.core.manager import ManagementLog, PowerAwareManager
@@ -246,6 +249,62 @@ def _execute_spec(spec: ScenarioSpec) -> ScenarioArtifacts:
     return spec.run()
 
 
+def _pool_worker_init() -> None:
+    """Make pool workers deaf to Ctrl-C.
+
+    A terminal SIGINT goes to the whole foreground process group; if
+    workers also raise KeyboardInterrupt mid-pickle, the pool machinery
+    deadlocks or leaves orphans.  Only the parent handles the signal —
+    it then cancels and drains the workers deterministically.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _raise_keyboard_interrupt(signum: int, frame: Any) -> None:
+    raise KeyboardInterrupt()
+
+
+def _abort_pool(pool: ProcessPoolExecutor, futures: Dict[Any, int]) -> None:
+    """Cancel, terminate and reap the pool on the interrupt/failure path.
+
+    ``shutdown(wait=True)`` alone would block until *running* simulations
+    finish — minutes for a long-horizon spec — so in-flight workers get a
+    SIGTERM first.  Their results are discarded anyway, and every cache
+    entry already stored was written atomically, so killing mid-task can
+    never leave a partial artifact.  The final ``shutdown(wait=True)``
+    reaps the terminated children — no orphans outlive the campaign.
+    """
+    for fut in futures:
+        fut.cancel()
+    for proc in getattr(pool, "_processes", {}).values():
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+@contextmanager
+def _graceful_signals() -> Iterator[None]:
+    """Turn SIGTERM into KeyboardInterrupt for the enclosed block.
+
+    SIGTERM (kill, container stop, batch-queue preemption) normally
+    terminates the interpreter without unwinding, leaving half-written
+    artifacts and orphaned pool workers.  Mapping it onto
+    KeyboardInterrupt funnels both cancellation paths through the same
+    cleanup handlers.  Signal handlers can only be installed from the
+    main thread; elsewhere this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 # ----------------------------------------------------------------------
 # The execution layer
 # ----------------------------------------------------------------------
@@ -327,14 +386,36 @@ def run_scenarios(
         n_workers = default_workers() if workers is None else max(1, workers)
         n_workers = min(n_workers, len(to_run))
         if n_workers <= 1:
-            computed = [_execute_spec(specs[i]) for i in to_run]
+            with _graceful_signals():
+                for i in to_run:
+                    artifacts = _execute_spec(specs[i])
+                    results[i] = artifacts
+                    if store is not None and digests[i] is not None:
+                        store.put(digests[i], artifacts)
         else:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                computed = list(pool.map(_execute_spec, [specs[i] for i in to_run]))
-        for i, artifacts in zip(to_run, computed):
-            results[i] = artifacts
-            if store is not None and digests[i] is not None:
-                store.put(digests[i], artifacts)
+            # Results are stored as they complete (not after the whole
+            # batch), so an interrupted campaign keeps every finished
+            # entry — each one is written atomically by the cache layer,
+            # so a kill can never leave a partial entry behind.
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_pool_worker_init
+            )
+            futures: Dict[Any, int] = {}
+            try:
+                with _graceful_signals():
+                    futures = {
+                        pool.submit(_execute_spec, specs[i]): i for i in to_run
+                    }
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        artifacts = fut.result()
+                        results[i] = artifacts
+                        if store is not None and digests[i] is not None:
+                            store.put(digests[i], artifacts)
+            except BaseException:
+                _abort_pool(pool, futures)
+                raise
+            pool.shutdown(wait=True)
 
     # Fill duplicate positions from their owners.
     for i in range(len(specs)):
@@ -355,3 +436,108 @@ def run_scenarios(
             "bug — please report)".format(", ".join(missing))
         )
     return final
+
+
+# ----------------------------------------------------------------------
+# Warm-checkpoint branching
+# ----------------------------------------------------------------------
+
+
+def _execute_branch(
+    checkpoint: str, config: ManagerConfig, horizon_s: Optional[float]
+) -> ScenarioArtifacts:
+    """Module-level branch worker (picklable by name, like _execute_spec)."""
+    from repro.core.runner import branch_scenario
+
+    return snapshot_result(
+        branch_scenario(checkpoint, config, horizon_s=horizon_s)
+    )
+
+
+def branch_digest(
+    checkpoint_sha256: str, config: ManagerConfig, horizon_s: Optional[float]
+) -> str:
+    """Cache key for one branched run.
+
+    Keyed by the checkpoint's *content* digest (from its manifest), not
+    its path — re-running the parent scenario reproduces the same bytes,
+    so warm branches stay cached across checkpoint directories.
+    """
+    return scenario_digest(
+        config,
+        {"checkpoint_sha256": checkpoint_sha256, "horizon_s": horizon_s},
+        extra={"branch": True},
+    )
+
+
+def branch_scenarios(
+    checkpoint: Union[str, "os.PathLike[str]"],
+    configs: Iterable[ManagerConfig],
+    horizon_s: Optional[float] = None,
+    workers: Optional[int] = None,
+    cache: Union[None, bool, ResultCache] = True,
+) -> List[ScenarioArtifacts]:
+    """Fan one warm checkpoint out across policy variants.
+
+    Loads the checkpoint manifest once (cheap — header only) for the
+    content digest, then runs each config's continuation through the same
+    pool/cache machinery as :func:`run_scenarios`: cache hits skip the
+    simulation, misses run in parallel workers, results come back in
+    config order, and every finished branch is stored the moment it
+    completes.
+    """
+    from pathlib import Path
+
+    from repro.core.checkpoint import read_manifest
+
+    checkpoint = Path(checkpoint)
+    manifest = read_manifest(checkpoint)
+    configs = list(configs)
+    store = _resolve_cache(cache)
+    results: List[Optional[ScenarioArtifacts]] = [None] * len(configs)
+    digests: List[Optional[str]] = [None] * len(configs)
+    for i, config in enumerate(configs):
+        try:
+            digests[i] = branch_digest(manifest["sha256"], config, horizon_s)
+        except Uncacheable:
+            digests[i] = None
+        if store is not None and digests[i] is not None:
+            results[i] = store.get(digests[i])
+
+    to_run = [i for i in range(len(configs)) if results[i] is None]
+    if to_run:
+        n_workers = default_workers() if workers is None else max(1, workers)
+        n_workers = min(n_workers, len(to_run))
+        if n_workers <= 1:
+            with _graceful_signals():
+                for i in to_run:
+                    artifacts = _execute_branch(
+                        str(checkpoint), configs[i], horizon_s
+                    )
+                    results[i] = artifacts
+                    if store is not None and digests[i] is not None:
+                        store.put(digests[i], artifacts)
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_pool_worker_init
+            )
+            futures: Dict[Any, int] = {}
+            try:
+                with _graceful_signals():
+                    futures = {
+                        pool.submit(
+                            _execute_branch, str(checkpoint), configs[i], horizon_s
+                        ): i
+                        for i in to_run
+                    }
+                    for fut in as_completed(futures):
+                        i = futures[fut]
+                        artifacts = fut.result()
+                        results[i] = artifacts
+                        if store is not None and digests[i] is not None:
+                            store.put(digests[i], artifacts)
+            except BaseException:
+                _abort_pool(pool, futures)
+                raise
+            pool.shutdown(wait=True)
+    return [artifacts for artifacts in results if artifacts is not None]

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional, Set
 
+from repro.sim import ResumeSpec
+
 if TYPE_CHECKING:
     from repro.core.plane.log import ManagementLog
     from repro.datacenter.host import Host
@@ -188,13 +190,24 @@ class WakeArbiter:
                 self.env.now, "repair-scheduled", host.name,
                 detail="{:.0f}s".format(delay),
             )
-        self.env.process(self._repair(host, delay))
+        self.env.process(
+            self._repair(host, delay, self.env.now),
+            ckpt=ResumeSpec(self, "_repair", (host, delay, self.env.now)),
+        )
 
     def _repair(
-        self, host: "Host", delay_s: float
+        self,
+        host: "Host",
+        delay_s: float,
+        failed_at: float,
+        resume_at: Optional[float] = None,
     ) -> Generator["Event", Any, None]:
-        failed_at = self.env.now
-        yield self.env.timeout(delay_s)
+        # ``failed_at`` is an argument (not read from the clock here) so a
+        # checkpoint-restored repair still reports the original downtime.
+        if resume_at is not None:
+            yield self.env.timeout_at(resume_at)
+        else:
+            yield self.env.timeout(delay_s)
         host.repair()
         self.scoreboard.record_repair(host.name)
         now = self.env.now

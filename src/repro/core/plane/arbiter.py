@@ -53,6 +53,7 @@ from repro.migration.engine import MigrationEngine
 from repro.placement.balancer import LoadBalancer
 from repro.placement.evacuation import plan_evacuation
 from repro.power.states import PowerState
+from repro.sim import ResumeSpec
 
 
 class _EvacuationTask:
@@ -141,25 +142,46 @@ class PowerAwareManager:
         if self._started:
             raise RuntimeError("manager already started")
         self._started = True
-        self.env.process(self._consolidation_loop())
-        self.env.process(self._watchdog_loop())
+        self.env.process(
+            self._consolidation_loop(),
+            ckpt=ResumeSpec(self, "_consolidation_loop"),
+        )
+        self.env.process(
+            self._watchdog_loop(), ckpt=ResumeSpec(self, "_watchdog_loop")
+        )
 
-    def _consolidation_loop(self) -> Generator["Event", Any, None]:
+    def _consolidation_loop(
+        self, resume_at: Optional[float] = None
+    ) -> Generator["Event", Any, None]:
+        # Deliberately NOT coalesced: evaluate() spawns wake/evacuation
+        # processes whose urgent start events must run before any
+        # same-instant sampler/watchdog tick observes the cluster — a
+        # shared event would run those later waiters in the same step,
+        # before the spawned processes begin (e.g. the watchdog would
+        # see a host still parked and wake it a second time).
+        wait = (
+            self.env.timeout_at(resume_at)
+            if resume_at is not None
+            else self.env.timeout(self.config.period_s)
+        )
         while True:
-            # Deliberately NOT coalesced: evaluate() spawns wake/evacuation
-            # processes whose urgent start events must run before any
-            # same-instant sampler/watchdog tick observes the cluster — a
-            # shared event would run those later waiters in the same step,
-            # before the spawned processes begin (e.g. the watchdog would
-            # see a host still parked and wake it a second time).
-            yield self.env.timeout(self.config.period_s)
+            yield wait
             self.evaluate()
+            wait = self.env.timeout(self.config.period_s)
 
-    def _watchdog_loop(self) -> Generator["Event", Any, None]:
+    def _watchdog_loop(
+        self, resume_at: Optional[float] = None
+    ) -> Generator["Event", Any, None]:
+        wait = (
+            self.env.shared_timeout_at(resume_at)
+            if resume_at is not None
+            else self.env.shared_timeout(self.config.watchdog_period_s)
+        )
         while True:
-            yield self.env.shared_timeout(self.config.watchdog_period_s)
+            yield wait
             self.react_to_shortfall()
             self._drain_pending()
+            wait = self.env.shared_timeout(self.config.watchdog_period_s)
 
     # ------------------------------------------------------------------
     # Admission (used directly and by the churn generator)

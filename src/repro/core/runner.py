@@ -13,9 +13,18 @@ from __future__ import annotations
 
 import heapq
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
+from repro.core.checkpoint import (
+    CheckpointCoordinator,
+    capture_resume_records,
+    load_checkpoint,
+    rebind_config,
+    restore_processes,
+    save_checkpoint,
+)
 from repro.core.config import ManagerConfig
 from repro.core.manager import PowerAwareManager
 from repro.core.plane.neat import NeatManager
@@ -30,6 +39,7 @@ from repro.prototype.calibration import make_prototype_blade_profile
 from repro.sim import Environment
 from repro.telemetry.metrics import SimReport, build_report
 from repro.telemetry.sampler import ClusterSampler
+from repro.telemetry.stream import StreamingMetricsSink
 from repro.telemetry.trace import TraceBuffer
 from repro.telemetry.view import StalenessModel, TelemetryFeed
 from repro.workload.churn import ChurnGenerator
@@ -55,6 +65,36 @@ class ScenarioResult:
     #: Wall-clock spent inside ``env.run`` — the simulation-kernel time
     #: the F-series benchmark divides events by.
     sim_wall_s: float = 0.0
+    #: In-simulation checkpoint coordinator (only when the scenario ran
+    #: with ``checkpoint_every_s``): carries the saved paths/manifests.
+    checkpoints: Optional[CheckpointCoordinator] = None
+
+
+@dataclass
+class LiveScenario:
+    """A fully wired scenario: the checkpoint payload's object graph.
+
+    Everything here is picklable at a quiescent point — the environment
+    drops its event heap (captured separately as resume records), live
+    process handles pickle as inert husks, and the streaming sink is
+    detached by the sampler.  ``run_scenario`` builds one, drives it to
+    the horizon and finalizes it; ``resume_scenario`` loads one from a
+    checkpoint and does the same from the snapshot instant.
+    """
+
+    env: Environment
+    config: ManagerConfig
+    cluster: Cluster
+    engine: MigrationEngine
+    manager: PowerAwareManager
+    sampler: ClusterSampler
+    horizon_s: float
+    seed: int
+    churn: Optional[ChurnGenerator] = None
+    feed: Optional[TelemetryFeed] = None
+    trace: Optional[TraceBuffer] = None
+    #: Extra scenario identity carried into checkpoint manifests.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
 
 def _placement_failure(vm: VM, cluster: Cluster) -> str:
@@ -129,7 +169,7 @@ def spread_placement(vms: List[VM], cluster: Cluster) -> None:
             raise RuntimeError(_placement_failure(vm, cluster))
 
 
-def run_scenario(
+def build_scenario(
     config: ManagerConfig,
     n_hosts: int = 20,
     n_vms: int = 80,
@@ -148,35 +188,16 @@ def run_scenario(
     telemetry_model: Optional[StalenessModel] = None,
     trace: bool = False,
     trace_maxlen: Optional[int] = None,
-) -> ScenarioResult:
-    """Run one managed-cluster simulation end to end.
+    bounded_series: bool = False,
+) -> LiveScenario:
+    """Wire every subsystem together and start the long-lived loops.
 
-    Args:
-        config: the management policy (see :mod:`repro.core.policies`).
-        n_hosts / host_cores / host_mem_gb: homogeneous cluster shape.
-        n_vms: fleet size when ``fleet`` is not given.
-        horizon_s: simulated duration.
-        seed: drives fleet generation and churn.
-        profile: server power profile (default: the prototype blade).
-        fleet: explicit VM list (overrides ``n_vms``/``fleet_spec``).
-        fleet_spec: fleet shape (default: the enterprise mix).
-        epoch_s: telemetry/demand refresh interval.
-        migration_model: pre-copy fabric parameters.
-        churn_rate_per_h: VM arrivals per hour (0 disables churn).
-        fault_model: optional fault injection — wake failures and, via
-            its ``migration`` field, mid-copy migration failures (see
-            :class:`repro.datacenter.FaultModel`).
-        telemetry_model: optional staleness/dropout pipeline between the
-            sampler and the manager (see
-            :class:`repro.telemetry.view.StalenessModel`); None keeps the
-            manager on ground truth.
-        trace: record a structured decision trace (see
-            :mod:`repro.telemetry.trace`) into ``result.trace``.
-        trace_maxlen: bounded-buffer capacity (None = library default).
+    This is :func:`run_scenario`'s setup phase, split out so checkpoint
+    resume and branch can share the drive/finalize phases against a
+    restored :class:`LiveScenario` instead of a freshly built one.
     """
     if horizon_s <= 0:
         raise ValueError("horizon_s must be positive")
-    t_setup0 = time.perf_counter()  # reprolint: disable=RL002
     env = Environment()
     buf: Optional[TraceBuffer] = None
     if trace:
@@ -231,6 +252,7 @@ def run_scenario(
         epoch_s=epoch_s,
         feed=feed,
         headroom_ceiling=config.balance.dst_ceiling,
+        bounded=bounded_series,
     )
     manager.tick_aggregates = sampler
     sampler.start()
@@ -249,10 +271,38 @@ def run_scenario(
         )
         churn.start()
 
-    t_run0 = time.perf_counter()  # reprolint: disable=RL002
-    env.run(until=horizon_s)
-    t_run1 = time.perf_counter()  # reprolint: disable=RL002
+    return LiveScenario(
+        env=env,
+        config=config,
+        cluster=cluster,
+        engine=engine,
+        manager=manager,
+        sampler=sampler,
+        horizon_s=horizon_s,
+        seed=seed,
+        churn=churn,
+        feed=feed,
+        trace=buf,
+    )
 
+
+def finalize_scenario(
+    live: LiveScenario,
+    setup_wall_s: float = 0.0,
+    sim_wall_s: float = 0.0,
+    checkpoints: Optional[CheckpointCoordinator] = None,
+) -> ScenarioResult:
+    """Emit end-of-run trace markers and assemble the result/report."""
+    env = live.env
+    cluster = live.cluster
+    engine = live.engine
+    manager = live.manager
+    sampler = live.sampler
+    churn = live.churn
+    feed = live.feed
+    buf = live.trace
+    config = live.config
+    horizon_s = live.horizon_s
     if buf is not None:
         for h in cluster.hosts:
             buf.host_final(
@@ -323,6 +373,227 @@ def run_scenario(
         env=env,
         churn=churn,
         trace=buf,
-        setup_wall_s=t_run0 - t_setup0,
-        sim_wall_s=t_run1 - t_run0,
+        setup_wall_s=setup_wall_s,
+        sim_wall_s=sim_wall_s,
+        checkpoints=checkpoints,
     )
+
+
+def _make_save_fn(live: LiveScenario, sink: Optional[StreamingMetricsSink]):
+    """Bind the checkpoint writer for one live scenario.
+
+    Capture runs *before* any file I/O, so a veto costs nothing; the
+    streaming sink's durable offset is taken only once quiescence is
+    proven, keeping the manifest's truncation point consistent with the
+    pickled window count.
+    """
+
+    def save(path: Path) -> Dict[str, Any]:
+        records = capture_resume_records(live.env)
+        meta: Dict[str, Any] = {
+            "sim_time_s": live.env.now,
+            "policy": live.config.name,
+            "plane": live.config.plane,
+            "seed": live.seed,
+            "horizon_s": live.horizon_s,
+        }
+        meta.update(live.meta)
+        if sink is not None:
+            meta["stream_path"] = str(sink.path)
+            meta["stream_windows"] = sink.windows
+            meta["stream_offset"] = sink.flush_offset()
+        return save_checkpoint(path, live, records, meta)
+
+    return save
+
+
+def _drive(
+    live: LiveScenario,
+    setup_wall_s: float,
+    checkpoint_every_s: Optional[float],
+    checkpoint_dir: Optional[Union[str, Path]],
+    sink: Optional[StreamingMetricsSink],
+) -> ScenarioResult:
+    """Run a wired scenario to its horizon and finalize it."""
+    coordinator = None
+    if checkpoint_every_s is not None:
+        if checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every_s requires a checkpoint_dir"
+            )
+        coordinator = CheckpointCoordinator(
+            live.env,
+            checkpoint_every_s,
+            checkpoint_dir,
+            _make_save_fn(live, sink),
+        )
+        coordinator.start()
+    t_run0 = time.perf_counter()  # reprolint: disable=RL002
+    live.env.run(until=live.horizon_s)
+    t_run1 = time.perf_counter()  # reprolint: disable=RL002
+    result = finalize_scenario(
+        live,
+        setup_wall_s=setup_wall_s,
+        sim_wall_s=t_run1 - t_run0,
+        checkpoints=coordinator,
+    )
+    if sink is not None:
+        sink.close()
+    return result
+
+
+def run_scenario(
+    config: ManagerConfig,
+    n_hosts: int = 20,
+    n_vms: int = 80,
+    horizon_s: float = 48 * 3600.0,
+    seed: int = 0,
+    host_cores: float = 16.0,
+    host_mem_gb: float = 128.0,
+    profile: Optional[ServerPowerProfile] = None,
+    fleet: Optional[List[VM]] = None,
+    fleet_spec: Optional[FleetSpec] = None,
+    epoch_s: float = 60.0,
+    migration_model: Optional[PreCopyModel] = None,
+    churn_rate_per_h: float = 0.0,
+    churn_lifetime_s: float = 6 * 3600.0,
+    fault_model: Optional[FaultModel] = None,
+    telemetry_model: Optional[StalenessModel] = None,
+    trace: bool = False,
+    trace_maxlen: Optional[int] = None,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    stream: Optional[Union[str, Path]] = None,
+    bounded_series: bool = False,
+) -> ScenarioResult:
+    """Run one managed-cluster simulation end to end.
+
+    Args:
+        config: the management policy (see :mod:`repro.core.policies`).
+        n_hosts / host_cores / host_mem_gb: homogeneous cluster shape.
+        n_vms: fleet size when ``fleet`` is not given.
+        horizon_s: simulated duration.
+        seed: drives fleet generation and churn.
+        profile: server power profile (default: the prototype blade).
+        fleet: explicit VM list (overrides ``n_vms``/``fleet_spec``).
+        fleet_spec: fleet shape (default: the enterprise mix).
+        epoch_s: telemetry/demand refresh interval.
+        migration_model: pre-copy fabric parameters.
+        churn_rate_per_h: VM arrivals per hour (0 disables churn).
+        fault_model: optional fault injection — wake failures and, via
+            its ``migration`` field, mid-copy migration failures (see
+            :class:`repro.datacenter.FaultModel`).
+        telemetry_model: optional staleness/dropout pipeline between the
+            sampler and the manager (see
+            :class:`repro.telemetry.view.StalenessModel`); None keeps the
+            manager on ground truth.
+        trace: record a structured decision trace (see
+            :mod:`repro.telemetry.trace`) into ``result.trace``.
+        trace_maxlen: bounded-buffer capacity (None = library default).
+        checkpoint_every_s: write a crash-safe checkpoint at every
+            multiple of this simulated interval (see
+            :mod:`repro.core.checkpoint`); requires ``checkpoint_dir``.
+        checkpoint_dir: directory receiving the checkpoint files.
+        stream: emit per-window metrics incrementally to this JSONL path
+            (see :mod:`repro.telemetry.stream`).
+        bounded_series: keep O(1) incremental series aggregates instead
+            of every sample — flat RAM over arbitrary horizons (pair
+            with ``stream`` to keep the raw windows).
+    """
+    t_setup0 = time.perf_counter()  # reprolint: disable=RL002
+    live = build_scenario(
+        config,
+        n_hosts=n_hosts,
+        n_vms=n_vms,
+        horizon_s=horizon_s,
+        seed=seed,
+        host_cores=host_cores,
+        host_mem_gb=host_mem_gb,
+        profile=profile,
+        fleet=fleet,
+        fleet_spec=fleet_spec,
+        epoch_s=epoch_s,
+        migration_model=migration_model,
+        churn_rate_per_h=churn_rate_per_h,
+        churn_lifetime_s=churn_lifetime_s,
+        fault_model=fault_model,
+        telemetry_model=telemetry_model,
+        trace=trace,
+        trace_maxlen=trace_maxlen,
+        bounded_series=bounded_series,
+    )
+    sink = None
+    if stream is not None:
+        sink = StreamingMetricsSink(stream, label=config.name)
+        live.sampler.attach_sink(sink)
+    t_run0 = time.perf_counter()  # reprolint: disable=RL002
+    return _drive(
+        live, t_run0 - t_setup0, checkpoint_every_s, checkpoint_dir, sink
+    )
+
+
+def resume_scenario(
+    checkpoint: Union[str, Path],
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    stream: Optional[Union[str, Path]] = None,
+) -> ScenarioResult:
+    """Resume a checkpointed run and drive it to its original horizon.
+
+    The resumed run's decision trace is byte-identical to the
+    uninterrupted run's (the determinism oracle enforced by the
+    differential and crash-injection suites).  ``stream`` re-attaches
+    the streaming sink: the file is truncated back to the checkpoint's
+    fsynced offset, deduplicating windows the crashed run re-emitted.
+    """
+    t_setup0 = time.perf_counter()  # reprolint: disable=RL002
+    live, records, manifest = load_checkpoint(checkpoint)
+    sink = None
+    if stream is not None:
+        if "stream_offset" not in manifest:
+            raise ValueError(
+                "checkpoint {} was not taken from a streaming run; "
+                "cannot resume its stream".format(checkpoint)
+            )
+        sink = StreamingMetricsSink(
+            stream,
+            label=live.config.name,
+            resume_offset=int(manifest["stream_offset"]),
+            resume_windows=int(manifest["stream_windows"]),
+        )
+        live.sampler.attach_sink(sink)
+    restore_processes(live.env, records)
+    t_run0 = time.perf_counter()  # reprolint: disable=RL002
+    return _drive(
+        live, t_run0 - t_setup0, checkpoint_every_s, checkpoint_dir, sink
+    )
+
+
+def branch_scenario(
+    checkpoint: Union[str, Path],
+    config: ManagerConfig,
+    horizon_s: Optional[float] = None,
+) -> ScenarioResult:
+    """Fan one warm checkpoint out under a different policy.
+
+    Loads the checkpoint, rebinds the management plane to ``config``
+    (policy parameters only — plane architecture and DVFS wiring must
+    match, see :func:`repro.core.checkpoint.rebind_config`) and drives
+    the run to ``horizon_s`` (default: the original horizon).  This is
+    the SleepScale-style amortization: one warm-up, many policy
+    variants.
+    """
+    t_setup0 = time.perf_counter()  # reprolint: disable=RL002
+    live, records, _ = load_checkpoint(checkpoint)
+    rebind_config(live.manager, config)
+    live.config = config
+    if horizon_s is not None:
+        if horizon_s <= live.env.now:
+            raise ValueError(
+                "branch horizon {}s is not after the checkpoint "
+                "instant {}s".format(horizon_s, live.env.now)
+            )
+        live.horizon_s = float(horizon_s)
+    restore_processes(live.env, records)
+    t_run0 = time.perf_counter()  # reprolint: disable=RL002
+    return _drive(live, t_run0 - t_setup0, None, None, None)

@@ -106,4 +106,6 @@ def load_corpus_entry(path: Union[str, Path]) -> CorpusEntry:
 
 
 def write_corpus_entry(path: Union[str, Path], entry: CorpusEntry) -> None:
-    Path(path).write_text(entry.dumps())
+    from repro.core.atomicio import atomic_write_text
+
+    atomic_write_text(Path(path), entry.dumps())

@@ -29,7 +29,7 @@ from repro.sim.events import (
     SharedTimeout,
     Timeout,
 )
-from repro.sim.process import Process, ProcessCrashed
+from repro.sim.process import Process, ProcessCrashed, ResumeSpec
 from repro.sim.environment import Environment, StopSimulation
 from repro.sim.resources import Container, PriorityResource, Request, Resource, Store
 
@@ -47,6 +47,7 @@ __all__ = [
     "ProcessCrashed",
     "Request",
     "Resource",
+    "ResumeSpec",
     "SharedTimeout",
     "StopSimulation",
     "Store",

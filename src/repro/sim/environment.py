@@ -44,6 +44,11 @@ class Environment:
         #: Pending coalesced timeouts keyed by absolute fire time (see
         #: :meth:`shared_timeout`); entries are purged as they fire.
         self._shared_timeouts: dict = {}
+        #: Every process whose generator has not finished.  The checkpoint
+        #: layer walks this to prove quiescence: a live process the event
+        #: heap cannot account for vetoes the snapshot instead of being
+        #: silently dropped.
+        self._live: set = set()
 
     @property
     def now(self) -> float:
@@ -67,6 +72,17 @@ class Environment:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """Create an event that fires at the *absolute* instant ``when``.
+
+        ``timeout(when - now)`` is not the same thing: the addition
+        ``now + (when - now)`` is not exact in IEEE-754, so a relative
+        re-arm can land one ulp off the original instant and flip event
+        order.  Checkpoint resume re-arms every pending wait through this
+        method so the restored heap fires at byte-identical timestamps.
+        """
+        return Timeout(self, when - self._now, value, at=when)
+
     def shared_timeout(self, delay: float) -> Event:
         """A timeout that coalesces with others firing at the same instant.
 
@@ -87,13 +103,40 @@ class Environment:
         event.callbacks.append(self._purge_shared)
         return event
 
+    def shared_timeout_at(self, when: float) -> Event:
+        """Absolute-instant variant of :meth:`shared_timeout`.
+
+        Coalesces through the same registry, so waiters re-armed from a
+        checkpoint share one heap entry exactly as the original run did
+        (and in the same callback order, because restore re-creates them
+        in the original request order).
+        """
+        event = self._shared_timeouts.get(when)
+        if event is not None and not event.processed:
+            return event
+        event = SharedTimeout(self, when - self._now, at=when)
+        self._shared_timeouts[when] = event
+        event.callbacks.append(self._purge_shared)
+        return event
+
     def _purge_shared(self, event: Event) -> None:
         """Drop a fired shared timeout from the coalescing registry."""
         self._shared_timeouts.pop(self._now, None)
 
-    def process(self, generator: Generator) -> Process:
-        """Start a new process from ``generator``."""
-        return Process(self, generator)
+    def process(self, generator: Generator, ckpt: Any = None) -> Process:
+        """Start a new process from ``generator``.
+
+        ``ckpt`` optionally attaches a :class:`~repro.sim.process.ResumeSpec`
+        declaring how to re-create this process's generator when the run is
+        restored from a checkpoint; processes without one veto snapshots
+        while alive (transient activity simply delays the checkpoint).
+        """
+        proc = Process(self, generator)
+        if ckpt is not None:
+            proc.ckpt = ckpt
+            if ckpt.bind is not None:
+                setattr(ckpt.owner, ckpt.bind, proc)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -116,6 +159,24 @@ class Environment:
             raise ValueError("cannot schedule into the past (delay={})".format(delay))
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def schedule_at(
+        self,
+        event: Event,
+        when: float,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Place a (triggered) event onto the heap at the exact instant
+        ``when`` — no ``now + delay`` float round-trip (see
+        :meth:`timeout_at`)."""
+        if when < self._now:
+            raise ValueError(
+                "cannot schedule into the past (when={}, now={})".format(
+                    when, self._now
+                )
+            )
+        self._eid += 1
+        heapq.heappush(self._queue, (when, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -168,7 +229,11 @@ class Environment:
             stop_event = Event(self)
             stop_event._ok = True
             stop_event._value = None
-            self.schedule(stop_event, delay=at - self._now, priority=-1)
+            # Exact-instant scheduling: a resumed run re-creates this stop
+            # event from a nonzero ``now``, where ``now + (at - now)`` can
+            # land one ulp past ``at`` and let a horizon-instant event slip
+            # in before the stop — breaking byte-identical resume.
+            self.schedule_at(stop_event, at, priority=-1)
             stop_event.callbacks.append(self._stop_callback)
 
         try:
@@ -194,6 +259,27 @@ class Environment:
 
     def _stop_callback(self, event: Event) -> None:
         raise StopSimulation()
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the clock and counters, never the event heap.
+
+        Pending events wrap live generators (unpicklable in CPython); the
+        checkpoint layer captures them separately as resume records and
+        re-arms fresh events at restore (see :mod:`repro.core.checkpoint`).
+        The returned dict is a copy — pickling a running environment does
+        not disturb it.
+        """
+        state = self.__dict__.copy()
+        state["_queue"] = []
+        state["_shared_timeouts"] = {}
+        state["_active_process"] = None
+        state["_active_generator"] = None
+        state["_live"] = set()
+        return state
 
     def __repr__(self) -> str:
         return "<Environment now={} queued={}>".format(self._now, len(self._queue))

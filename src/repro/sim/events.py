@@ -131,16 +131,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:  # noqa: F821
-        if delay < 0:
+    ``at`` (used by :meth:`Environment.timeout_at`) schedules the event at
+    that exact absolute instant instead of ``now + delay``, avoiding the
+    float round-trip that would shift a checkpoint-restored wait by one
+    ulp; ``delay`` is then only informational.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        delay: float,
+        value: Any = None,
+        at: Optional[float] = None,
+    ) -> None:
+        if at is None and delay < 0:
             raise ValueError("negative delay {!r}".format(delay))
         super().__init__(env)
         self._delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        if at is None:
+            env.schedule(self, delay=delay)
+        else:
+            env.schedule_at(self, at)
 
     @property
     def delay(self) -> float:
@@ -163,14 +178,22 @@ class SharedTimeout(Event):
     Shared timeouts carry no value (every waiter receives ``None``).
     """
 
-    def __init__(self, env: "Environment", delay: float) -> None:  # noqa: F821
-        if delay < 0:
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        delay: float,
+        at: Optional[float] = None,
+    ) -> None:
+        if at is None and delay < 0:
             raise ValueError("negative delay {!r}".format(delay))
         super().__init__(env)
         self._delay = delay
         self._ok = True
         self._value = None
-        env.schedule(self, delay=delay)
+        if at is None:
+            env.schedule(self, delay=delay)
+        else:
+            env.schedule_at(self, at)
 
     @property
     def delay(self) -> float:

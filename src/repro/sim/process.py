@@ -3,13 +3,55 @@
 from __future__ import annotations
 
 from types import GeneratorType
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Tuple
 
 from repro.sim.events import Event, Initialize, Interrupt, PRIORITY_URGENT, _PENDING
 
 
 class ProcessCrashed(RuntimeError):
     """Wraps an exception that escaped a process with no waiter to absorb it."""
+
+
+class ResumeSpec:
+    """How to re-create a long-lived process after checkpoint restore.
+
+    Generators cannot be pickled, so a checkpoint never captures a
+    process's frame.  Instead, every *resumable* process declares — at
+    spawn time — the picklable recipe for rebuilding an equivalent
+    generator positioned at its wait point: call
+    ``getattr(owner, method)(*args, resume_at=<original fire instant>)``.
+    The factory's first yield must wait until ``resume_at`` (via
+    ``Environment.timeout_at`` / ``shared_timeout_at``) and then continue
+    the loop body exactly where the original would have.
+
+    ``bind``, when set, names an attribute on ``owner`` that should point
+    at the (re)created process object (e.g. the sampler's ``_process``).
+
+    Live processes *without* a spec veto checkpoints — transient activity
+    (migrations, power transitions, evacuations) simply delays the
+    snapshot until it drains, rather than being silently dropped.
+    """
+
+    __slots__ = ("owner", "method", "args", "bind")
+
+    def __init__(
+        self,
+        owner: Any,
+        method: str,
+        args: Tuple[Any, ...] = (),
+        bind: Optional[str] = None,
+    ) -> None:
+        self.owner = owner
+        self.method = method
+        self.args = tuple(args)
+        self.bind = bind
+
+    def make_generator(self, resume_at: float) -> Generator:
+        """Build the continuation generator waiting until ``resume_at``."""
+        return getattr(self.owner, self.method)(*self.args, resume_at=resume_at)
+
+    def __repr__(self) -> str:
+        return "<ResumeSpec {}.{}>".format(type(self.owner).__name__, self.method)
 
 
 class Process(Event):
@@ -34,10 +76,16 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        #: Optional :class:`ResumeSpec` marking this process checkpoint-
+        #: resumable (set via ``Environment.process(..., ckpt=...)``).
+        self.ckpt: Optional[ResumeSpec] = None
+        env._live.add(self)
         Initialize(env, self)
 
     @property
     def name(self) -> str:
+        if self._generator is None:  # checkpoint-restored husk
+            return "<restored>"
         return self._generator.__name__
 
     @property
@@ -135,12 +183,27 @@ class Process(Event):
     def _finish_ok(self, value: Any) -> None:
         self._ok = True
         self._value = value
+        self.env._live.discard(self)
         self.env.schedule(self)
 
     def _finish_fail(self, exc: BaseException) -> None:
         self._ok = False
         self._value = exc
+        self.env._live.discard(self)
         self.env.schedule(self)
+
+    def __getstate__(self) -> dict:
+        """Pickle a process *husk*: everything but the generator frame.
+
+        Finished processes referenced from run state (e.g. the sampler's
+        ``_process`` handle) round-trip through checkpoints this way; live
+        resumable processes are not pickled at all — restore re-creates
+        them from their :class:`ResumeSpec`.
+        """
+        state = self.__dict__.copy()
+        state["_generator"] = None
+        state["_target"] = None
+        return state
 
     def __repr__(self) -> str:
         return "<Process {} {} at {:#x}>".format(

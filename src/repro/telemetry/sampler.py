@@ -8,8 +8,9 @@ import numpy as np
 
 from repro.datacenter.cluster import Cluster
 from repro.datacenter.vm import Priority
+from repro.sim import ResumeSpec
 from repro.power.states import PowerState
-from repro.telemetry.timeseries import TimeSeries
+from repro.telemetry.timeseries import BoundedTimeSeries, TimeSeries
 from repro.telemetry.view import ClusterView, TelemetryFeed
 from repro.workload.traces import trace_grid
 
@@ -56,6 +57,7 @@ class ClusterSampler:
         epoch_s: float = 60.0,
         feed: Optional[TelemetryFeed] = None,
         headroom_ceiling: Optional[float] = None,
+        bounded: bool = False,
     ) -> None:
         if epoch_s <= 0:
             raise ValueError("epoch_s must be positive")
@@ -67,9 +69,18 @@ class ClusterSampler:
         #: :mod:`repro.telemetry.view`); None keeps the manager on ground
         #: truth exactly as before.
         self.feed = feed
+        #: Bounded mode (service runs): series keep O(1) incremental
+        #: aggregates instead of every sample, so RAM stays flat over
+        #: arbitrary horizons.  The report statistics remain available;
+        #: raw sample access does not (stream them via ``attach_sink``).
+        self.bounded = bounded
+        series_cls = BoundedTimeSeries if bounded else TimeSeries
         self.series: Dict[str, TimeSeries] = {
-            name: TimeSeries(name) for name in self.SERIES
+            name: series_cls(name) for name in self.SERIES
         }
+        #: Optional per-window streaming sink (service mode); explicitly
+        #: not pickled — the runner reattaches it on checkpoint resume.
+        self._sink = None
         self.shortfall_core_s = 0.0
         self.demand_core_s = 0.0
         self.class_shortfall_core_s: Dict[Priority, float] = {
@@ -211,7 +222,11 @@ class ClusterSampler:
     def start(self) -> "Process":  # noqa: F821
         if self._process is not None:
             raise RuntimeError("sampler already started")
-        self._process = self.env.process(self._run())
+        # ``bind`` re-points ``_process`` at the re-created process on
+        # checkpoint restore (the pickled handle is an inert husk).
+        self._process = self.env.process(
+            self._run(), ckpt=ResumeSpec(self, "_run", bind="_process")
+        )
         return self._process
 
     def sample_once(self) -> float:  # reprolint: hot
@@ -485,6 +500,20 @@ class ClusterSampler:
         self.shortfall_core_s += shortfall * epoch_s
         self.demand_core_s += demand * epoch_s
         self.samples += 1
+        sink = self._sink
+        if sink is not None:
+            sink.emit_window(
+                now,
+                {
+                    "demand_cores": demand,
+                    "power_w": power_total,
+                    "active_hosts": n_active,
+                    "parked_hosts": cluster.n_parked_hosts(),
+                    "committed_capacity_cores": committed,
+                    "shortfall_cores": shortfall,
+                    "vm_count": vm_count,
+                },
+            )
         if self.feed is not None:
             self.feed.publish(
                 ClusterView(
@@ -497,7 +526,12 @@ class ClusterSampler:
             )
         return shortfall
 
-    def _run(self):
+    def _run(self, resume_at: Optional[float] = None):
+        if resume_at is not None:
+            # Checkpoint restore: the interrupted loop had already sampled
+            # and was waiting — wait out the remainder, then resume the
+            # sample-first cadence.
+            yield self.env.shared_timeout_at(resume_at)
         while True:
             self.sample_once()
             # Coalesced: the manager watchdog ticks at the same instants
@@ -506,6 +540,24 @@ class ClusterSampler:
             # ``sample_once`` spawns no processes a later same-instant
             # waiter would need to observe.
             yield self.env.shared_timeout(self.epoch_s)
+
+    # ------------------------------------------------------------------
+    # Streaming / checkpoint support
+    # ------------------------------------------------------------------
+
+    def attach_sink(self, sink) -> None:
+        """Attach (or re-attach, after resume) a streaming metrics sink."""
+        self._sink = sink
+
+    def __getstate__(self) -> dict:
+        """Checkpoint without the sink: it wraps an open file handle.
+
+        The runner re-attaches a resume-mode sink after restore (see
+        :class:`repro.telemetry.stream.StreamingMetricsSink`).
+        """
+        state = self.__dict__.copy()
+        state["_sink"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Derived metrics

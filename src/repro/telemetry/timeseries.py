@@ -101,3 +101,123 @@ class TimeSeries:
 
     def __repr__(self) -> str:
         return "<TimeSeries {} n={}>".format(self.name, len(self))
+
+
+class BoundedTimeSeries(TimeSeries):
+    """A :class:`TimeSeries` that keeps O(1) state instead of samples.
+
+    Long-horizon service mode appends millions of points per series; the
+    end-of-run report only ever reads ``mean``/``max``/``min``/
+    ``integral``/``fraction_above`` — all computable incrementally under
+    the same sample-and-hold semantics.  This subclass maintains exactly
+    those aggregates (identical accumulation order to the array math on
+    the full series, numpy's pairwise ``np.sum`` aside) and refuses the
+    sample-reading accessors, so memory stays flat no matter the horizon.
+
+    ``fraction_above`` needs its threshold *before* the samples stream
+    by, so it is fixed at construction; asking for a different one is an
+    error rather than a silently wrong answer.
+    """
+
+    def __init__(self, name: str, threshold: float = 1e-9) -> None:
+        super().__init__(name)
+        self._count = 0
+        self._first_t = 0.0
+        self._first_v = 0.0
+        self._last_t = 0.0
+        self._last_v = 0.0
+        self._max = float("-inf")
+        self._min = float("inf")
+        self._integral = 0.0
+        self._threshold = threshold
+        self._above_time = 0.0
+
+    def append(self, t: float, value: float) -> None:
+        t = float(t)
+        value = float(value)
+        if self._count and t < self._last_t:
+            raise ValueError(
+                "non-monotonic time {} after {}".format(t, self._last_t)
+            )
+        if self._count == 0:
+            self._first_t, self._first_v = t, value
+        else:
+            dt = t - self._last_t
+            self._integral += self._last_v * dt
+            if self._last_v > self._threshold:
+                self._above_time += dt
+        self._last_t, self._last_v = t, value
+        if value > self._max:
+            self._max = value
+        if value < self._min:
+            self._min = value
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def last(self) -> Tuple[float, float]:
+        if not self._count:
+            raise IndexError("empty series")
+        return self._last_t, self._last_v
+
+    def mean(self) -> float:
+        if not self._count:
+            raise ValueError("empty series")
+        if self._count < 2:
+            return self._first_v
+        return self._integral / (self._last_t - self._first_t)
+
+    def max(self) -> float:
+        if not self._count:
+            raise ValueError("empty series")
+        return self._max
+
+    def min(self) -> float:
+        if not self._count:
+            raise ValueError("empty series")
+        return self._min
+
+    def integral(self) -> float:
+        return self._integral if self._count >= 2 else 0.0
+
+    def fraction_above(self, threshold: float) -> float:
+        if threshold != self._threshold:
+            raise ValueError(
+                "bounded series {} tracks threshold {}, not {}".format(
+                    self.name, self._threshold, threshold
+                )
+            )
+        if self._count < 2:
+            return 0.0
+        span = self._last_t - self._first_t
+        if span <= 0:
+            return 0.0
+        return self._above_time / span
+
+    def _no_samples(self, what: str) -> "RuntimeError":
+        return RuntimeError(
+            "bounded series {} keeps no samples ({} unavailable)".format(
+                self.name, what
+            )
+        )
+
+    @property
+    def times(self) -> np.ndarray:
+        raise self._no_samples("times")
+
+    @property
+    def values(self) -> np.ndarray:
+        raise self._no_samples("values")
+
+    def percentile(self, q: float) -> float:
+        raise self._no_samples("percentile")
+
+    def points(self) -> List[Tuple[float, float]]:
+        raise self._no_samples("points")
+
+    def downsample(self, stride: int) -> "TimeSeries":
+        raise self._no_samples("downsample")
+
+    def __repr__(self) -> str:
+        return "<BoundedTimeSeries {} n={}>".format(self.name, len(self))

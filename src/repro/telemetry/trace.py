@@ -667,9 +667,16 @@ class TraceBuffer:
         return "\n".join(lines) + "\n"
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Write the JSONL stream to ``path``; returns the path."""
+        """Write the JSONL stream to ``path`` atomically; returns the path.
+
+        Traces feed differential byte-comparisons; a torn trace would
+        produce a baffling hash mismatch, so the write goes through the
+        tmp + fsync + rename helper.
+        """
+        from repro.core.atomicio import atomic_write
+
         target = Path(path)
-        target.write_bytes(self.to_jsonl().encode("utf-8"))
+        atomic_write(target, self.to_jsonl().encode("utf-8"))
         return target
 
     def trace_hash(self) -> str:

@@ -31,7 +31,6 @@ import hashlib
 import json
 import os
 import re
-import tempfile
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -939,18 +938,11 @@ class SummaryCache:
     def save(self) -> None:
         if not self._dirty:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(self._data, fh, sort_keys=True)
-            os.replace(tmp, self.path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # Lazy import: the lint package stays importable without pulling
+        # in the simulation core at module load.
+        from repro.core.atomicio import atomic_write_text
+
+        atomic_write_text(self.path, json.dumps(self._data, sort_keys=True))
         self._dirty = False
 
 

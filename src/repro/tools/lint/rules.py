@@ -902,6 +902,99 @@ class AllocationHygieneRule(Rule):
             yield from self._check_node(module, child, func, inner_depth)
 
 
+class AtomicArtifactWriteRule(Rule):
+    rule_id = "RL016"
+    title = "artifact-path modules must write files through atomic_write"
+    rationale = (
+        "cache entries, checkpoints, traces and benchmark artifacts are "
+        "read back by resume paths and differential tests; a bare "
+        "open()/write_text() torn by a crash poisons them silently, while "
+        "repro.core.atomicio (tmp + fsync + rename) cannot"
+    )
+
+    #: Module basenames on the durable-artifact path.  Anything here that
+    #: opens a file for writing must route through the atomicio helpers
+    #: (or carry an inline disable with a recorded justification, like
+    #: the append-structured metrics stream).
+    artifact_files: Tuple[str, ...] = (
+        "cache.py",
+        "checkpoint.py",
+        "trace.py",
+        "stream.py",
+        "cli.py",
+        "corpus.py",
+        "project.py",
+    )
+    #: Every module under benchmarks/ writes BENCH_*.json artifacts.
+    artifact_dirs: Tuple[str, ...] = ("benchmarks",)
+    _WRITE_MODES = frozenset("wax")
+
+    def _in_scope(self, module: ModuleContext) -> bool:
+        name = module.path.name
+        if name == "atomicio.py":  # the helper implements the discipline
+            return False
+        # benchmarks/ modules are named test_* but are artifact writers,
+        # so the directory scope wins over the test-file exemption.
+        if module.in_packages(self.artifact_dirs):
+            return True
+        if module.is_test_file:
+            return False
+        return name in self.artifact_files
+
+    @classmethod
+    def _mode_writes(cls, node: ast.Call, mode_position: int) -> bool:
+        """True when the call's mode argument requests writing."""
+        mode: Optional[ast.expr] = None
+        if len(node.args) > mode_position:
+            mode = node.args[mode_position]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return False  # default "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(ch in cls._WRITE_MODES for ch in mode.value)
+        return True  # dynamic mode: assume the worst
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not self._in_scope(module):
+            return
+        imports = build_import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                if self._mode_writes(node, mode_position=1):
+                    yield module.finding(
+                        self.rule_id,
+                        node,
+                        "open() for writing on the artifact path; use "
+                        "repro.core.atomicio.atomic_write* so a crash "
+                        "cannot tear the file",
+                    )
+                continue
+            dotted = resolve_dotted(node.func, imports)
+            if dotted == "os.fdopen" and self._mode_writes(node, mode_position=1):
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    "os.fdopen() for writing on the artifact path; use "
+                    "repro.core.atomicio.atomic_write* (it owns the "
+                    "tmp-file + fsync + rename dance)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes")
+                and dotted is None
+            ):
+                yield module.finding(
+                    self.rule_id,
+                    node,
+                    ".{}() on the artifact path is not crash-safe; use "
+                    "repro.core.atomicio.atomic_write*".format(node.func.attr),
+                )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -919,6 +1012,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     RawMigrateRule,
     HotPathClusterScanRule,
     AllocationHygieneRule,
+    AtomicArtifactWriteRule,
 )
 
 #: Per-module rules only; see :func:`registry` for the combined map that

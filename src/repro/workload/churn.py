@@ -14,6 +14,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.datacenter.vm import VM
+from repro.sim import ResumeSpec
 from repro.workload.fleet import FleetSpec, _draw_priority, _make_trace
 
 
@@ -62,7 +63,9 @@ class ChurnGenerator:
 
     def start(self) -> "Process":  # noqa: F821
         """Launch the arrival process; returns it."""
-        return self.env.process(self._arrivals())
+        return self.env.process(
+            self._arrivals(), ckpt=ResumeSpec(self, "_arrivals")
+        )
 
     def _draw_vm(self) -> VM:
         archetypes = sorted(self.spec.archetype_weights)
@@ -83,20 +86,38 @@ class ChurnGenerator:
             priority=_draw_priority(self.rng, self.spec.priority_weights),
         )
 
-    def _arrivals(self):
+    def _arrivals(self, resume_at: Optional[float] = None):
+        # Each inter-arrival gap is drawn when its timeout is *created*,
+        # before the wait — so a checkpoint taken during the wait has
+        # already consumed the draw.  Resume therefore re-arms the
+        # recorded fire instant without touching the RNG; the restored
+        # generator state continues the sequence exactly.
         mean_gap_s = 3600.0 / self.arrival_rate_per_h
+        if resume_at is not None:
+            yield self.env.timeout_at(resume_at)
+            self._arrive_one()
         while True:
             yield self.env.timeout(float(self.rng.exponential(mean_gap_s)))
-            vm = self._draw_vm()
-            self.arrived += 1
-            if self.admit(vm):
-                self._live.append(vm)
-                self.env.process(self._lifetime(vm))
-            else:
-                self.rejected += 1
+            self._arrive_one()
 
-    def _lifetime(self, vm: VM):
-        yield self.env.timeout(float(self.rng.exponential(self.mean_lifetime_s)))
+    def _arrive_one(self) -> None:
+        vm = self._draw_vm()
+        self.arrived += 1
+        if self.admit(vm):
+            self._live.append(vm)
+            self.env.process(
+                self._lifetime(vm), ckpt=ResumeSpec(self, "_lifetime", (vm,))
+            )
+        else:
+            self.rejected += 1
+
+    def _lifetime(self, vm: VM, resume_at: Optional[float] = None):
+        if resume_at is not None:
+            yield self.env.timeout_at(resume_at)
+        else:
+            yield self.env.timeout(
+                float(self.rng.exponential(self.mean_lifetime_s))
+            )
         # The VM may still be mid-migration; departure simply detaches it —
         # the migration process tolerates a vanished VM.
         self._live.remove(vm)

@@ -1,0 +1,50 @@
+"""RL016 bad fixture: raw file writes on the durable-artifact path.
+
+Lives under ``benchmarks/`` in the fixture tree because RL016 is scoped
+to artifact-writing modules (cache/checkpoint/trace/stream/cli/corpus
+and everything in benchmarks/).
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+def write_summary(payload):
+    with open("BENCH_demo.json", "w") as fh:  # finding
+        json.dump(payload, fh)
+
+
+def append_log(line):
+    handle = open("campaign.log", mode="a")  # finding
+    handle.write(line)
+    handle.close()
+
+
+def exclusive_create(path):
+    return open(path, "x")  # finding
+
+
+def fdopen_write(fd, payload):
+    with os.fdopen(fd, "w") as fh:  # finding
+        fh.write(payload)
+
+
+def dynamic_mode(path, mode):
+    return open(path, mode)  # finding
+
+
+def path_write(payload):
+    out = Path("BENCH_demo.json")
+    out.write_text(payload)  # finding
+    out.write_bytes(payload.encode("utf-8"))  # finding
+
+
+def read_is_fine(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def binary_read_is_fine(path):
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -1,0 +1,30 @@
+"""RL016 good fixture: artifact writes routed through atomicio."""
+
+from pathlib import Path
+
+from repro.core.atomicio import atomic_write, atomic_write_json, atomic_write_text
+
+
+def write_summary(payload):
+    atomic_write_json(Path("BENCH_demo.json"), payload)
+
+
+def write_trace(data):
+    atomic_write(Path("trace.jsonl"), data)
+
+
+def write_spec(text):
+    atomic_write_text(Path("spec.json"), text)
+
+
+def read_is_fine(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def suppressed_append(path, line):
+    # Append-structured streams heal torn tails via the checkpoint
+    # resume protocol instead of whole-file replacement.
+    handle = open(path, "ab")  # reprolint: disable=RL016
+    handle.write(line)
+    handle.close()

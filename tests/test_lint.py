@@ -49,6 +49,7 @@ BAD_FIXTURES = {
     "RL010": "rl010_bad.py",
     "RL011": "rl011_bad.py",
     "RL015": "rl015_bad.py",
+    "RL016": "benchmarks/rl016_bad.py",
 }
 
 GOOD_FIXTURES = {
@@ -68,11 +69,11 @@ def expected_lines(path: Path) -> set:
 
 class TestRegistry:
     def test_all_module_rules_registered(self):
-        assert len(ALL_RULES) == 12
+        assert len(ALL_RULES) == 13
         assert sorted(RULES_BY_ID) == [
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL006", "RL007", "RL008", "RL009", "RL010",
-            "RL011", "RL015",
+            "RL011", "RL015", "RL016",
         ]
 
     def test_combined_registry_includes_project_rules(self):
@@ -80,6 +81,7 @@ class TestRegistry:
             "RL001", "RL002", "RL003", "RL004", "RL005",
             "RL006", "RL007", "RL008", "RL009", "RL010",
             "RL011", "RL012", "RL013", "RL014", "RL015",
+            "RL016",
         ]
 
     def test_rules_have_metadata(self):

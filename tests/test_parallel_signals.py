@@ -1,0 +1,90 @@
+"""Graceful-cancellation regression tests for the campaign runner.
+
+A killed campaign (Ctrl-C or SIGTERM from a batch scheduler) must exit
+with the conventional 130, leave zero partial cache entries, and leave
+zero orphaned worker processes.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.parallel import _graceful_signals
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestGracefulSignals:
+    def test_sigterm_becomes_keyboard_interrupt(self):
+        with pytest.raises(KeyboardInterrupt):
+            with _graceful_signals():
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    def test_previous_handler_restored(self):
+        marker = []
+        previous = signal.signal(signal.SIGTERM, lambda *_: marker.append(1))
+        try:
+            with _graceful_signals():
+                pass
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert marker == [1]
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+
+class TestKilledCampaign:
+    def test_sigterm_exits_130_no_partial_entries_no_orphans(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        # A campaign far too large to finish before the signal arrives.
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "compare",
+                "--policies", "AlwaysOn,S5-PM,S3-PM,Hybrid",
+                "--hosts", "24", "--vms", "96", "--hours", "720",
+                "--workers", "2", "--seed", "5",
+            ],
+            env=env,
+            start_new_session=True,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            time.sleep(2.5)  # let the pool spin up and start simulating
+            assert proc.poll() is None, "campaign finished before the kill"
+            os.kill(proc.pid, signal.SIGTERM)
+            proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                os.killpg(proc.pid, signal.SIGKILL)
+        assert proc.returncode == 130
+
+        # The whole process group must be gone — no orphaned workers.
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            try:
+                os.killpg(proc.pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.2)
+        else:
+            os.killpg(proc.pid, signal.SIGKILL)
+            pytest.fail("worker processes outlived the campaign")
+
+        # No torn tmp files, and anything that did land verifies.
+        if cache_dir.is_dir():
+            assert list(cache_dir.glob("*.tmp")) == []
+            store = ResultCache(cache_dir)
+            for entry in list(store.entries()):
+                store.get(entry.stem)
+            assert store.quarantined == 0
